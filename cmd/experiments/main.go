@@ -1,0 +1,157 @@
+// Command experiments regenerates every figure and table of the paper's
+// evaluation (Section 6.2) plus the DESIGN.md ablations, printing ASCII
+// plots and paper-vs-measured summaries, and optionally writing CSV traces
+// for external plotting.
+//
+// Usage:
+//
+//	experiments [-run all|fig2a|fig2b|fig3a|fig3b|table1|jammer|ablation-est|ablation-det|ablation-beat] [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"safesense/internal/attack"
+	"safesense/internal/radar"
+	"safesense/internal/report"
+	"safesense/internal/sim"
+	"safesense/internal/trace"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: all, fig2a, fig2b, fig3a, fig3b, fig2a-signal, table1, jammer, ablation-est, ablation-det, ablation-beat, ablation-rate, limitation")
+	out := flag.String("out", "", "directory for CSV trace exports (omit to skip)")
+	width := flag.Int("width", 96, "ASCII plot width")
+	height := flag.Int("height", 20, "ASCII plot height")
+	flag.Parse()
+
+	opt := trace.PlotOptions{Width: *width, Height: *height}
+	if err := dispatch(*run, *out, opt); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func dispatch(run, out string, opt trace.PlotOptions) error {
+	figures := map[string]func() (*report.FigureResult, error){
+		"fig2a": func() (*report.FigureResult, error) { return report.Figure("fig2a", sim.Fig2aDoS()) },
+		"fig2b": func() (*report.FigureResult, error) { return report.Figure("fig2b", sim.Fig2bDelay()) },
+		"fig3a": func() (*report.FigureResult, error) { return report.Figure("fig3a", sim.Fig3aDoS()) },
+		"fig3b": func() (*report.FigureResult, error) { return report.Figure("fig3b", sim.Fig3bDelay()) },
+		"fig2a-signal": func() (*report.FigureResult, error) {
+			return report.SignalFigure("fig2a", sim.Fig2aDoS())
+		},
+	}
+	if f, ok := figures[run]; ok {
+		fig, err := f()
+		if err != nil {
+			return err
+		}
+		return emitFigure(fig, out, opt)
+	}
+	switch run {
+	case "all":
+		for _, id := range []string{"fig2a", "fig2b", "fig3a", "fig3b"} {
+			fig, err := figures[id]()
+			if err != nil {
+				return err
+			}
+			if err := emitFigure(fig, out, opt); err != nil {
+				return err
+			}
+			fmt.Println(strings.Repeat("=", 80))
+		}
+		for _, sub := range []string{"table1", "jammer", "ablation-est", "ablation-det", "ablation-beat", "ablation-rate", "limitation"} {
+			if err := dispatch(sub, out, opt); err != nil {
+				return err
+			}
+			fmt.Println(strings.Repeat("=", 80))
+		}
+		return nil
+	case "table1":
+		rows, err := report.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Print(report.FormatTable1(rows))
+		return nil
+	case "jammer":
+		p := radar.BoschLRR2()
+		j := attack.PaperJammer()
+		rows := report.JammerSweep(p, j, 21)
+		fmt.Print(report.FormatJammerSweep(p, j, rows))
+		return nil
+	case "ablation-est":
+		rows, err := report.EstimatorAblation()
+		if err != nil {
+			return err
+		}
+		fmt.Print(report.FormatEstimatorAblation(rows))
+		return nil
+	case "ablation-det":
+		rows, err := report.DetectorAblation()
+		if err != nil {
+			return err
+		}
+		fmt.Print(report.FormatDetectorAblation(rows))
+		return nil
+	case "ablation-beat":
+		rows, err := report.BeatAblation(16)
+		if err != nil {
+			return err
+		}
+		fmt.Print(report.FormatBeatAblation(rows))
+		return nil
+	case "ablation-rate":
+		rows, err := report.ChallengeRateSweep([]int64{1, 2, 3})
+		if err != nil {
+			return err
+		}
+		fmt.Print(report.FormatChallengeRateSweep(rows))
+		return nil
+	case "limitation":
+		rows, err := report.LimitationDemo()
+		if err != nil {
+			return err
+		}
+		fmt.Print(report.FormatLimitationDemo(rows))
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", run)
+	}
+}
+
+func emitFigure(fig *report.FigureResult, out string, opt trace.PlotOptions) error {
+	if err := fig.Render(os.Stdout, opt); err != nil {
+		return err
+	}
+	if out == "" {
+		return nil
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	for suffix, set := range map[string]*trace.Set{
+		"distance": fig.Distance,
+		"velocity": fig.Velocity,
+	} {
+		path := filepath.Join(out, fmt.Sprintf("%s-%s.csv", fig.ID, suffix))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := set.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+// Command radarcal is a link-budget calculator for the paper's radar and
+// jammer equations (Eqns 5–11): beat frequencies and their inversion,
+// received power, SNR, jamming power ratio and burn-through range.
+//
+// Usage:
+//
+//	radarcal [-d METERS] [-v MPS] [-rcs M2] [-jpower W] [-jgain DBI]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"safesense/internal/attack"
+	"safesense/internal/radar"
+	"safesense/internal/units"
+)
+
+func main() {
+	d := flag.Float64("d", 100, "target distance in meters")
+	v := flag.Float64("v", -1.5, "target range rate in m/s (negative = closing)")
+	rcs := flag.Float64("rcs", 10, "target radar cross-section in m^2")
+	jpower := flag.Float64("jpower", 100e-3, "jammer peak power in watts")
+	jgain := flag.Float64("jgain", 10, "jammer antenna gain in dBi")
+	flag.Parse()
+
+	p := radar.BoschLRR2()
+	p.TargetRCS = *rcs
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "radarcal:", err)
+		os.Exit(1)
+	}
+	j := attack.PaperJammer()
+	j.PeakPowerW = *jpower
+	j.AntennaGainDBi = *jgain
+
+	fmt.Printf("Bosch LRR2 FMCW radar @ %.0f GHz (Bs=%.0f MHz, Ts=%.1f ms, lambda=%.2f mm)\n",
+		p.CarrierHz/units.GHz, p.SweepBandwidthHz/units.MHz, p.SweepTimeSec*1e3, p.WavelengthM/units.Millimeter)
+	fmt.Printf("target: d=%.1f m, range rate=%.2f m/s, RCS=%.1f m^2\n\n", *d, *v, *rcs)
+
+	fbUp, fbDown := p.BeatFrequencies(*d, *v)
+	fmt.Printf("Eqn 5/6  beat frequencies: fb+ = %.1f Hz, fb- = %.1f Hz\n", fbUp, fbDown)
+	d2, v2 := p.FromBeats(fbUp, fbDown)
+	fmt.Printf("Eqn 7/8  inversion check:  d = %.3f m, dv = %.4f m/s\n", d2, v2)
+	pr := p.ReceivedPower(*d, *rcs)
+	fmt.Printf("Eqn 9    received power:   Pr = %.3e W (%.1f dBm)\n", pr, units.WattsToDBm(pr))
+	fmt.Printf("         noise floor:      %.3e W, per-sample SNR %.1f dB\n", p.NoiseFloor(), p.SNRdB(*d))
+
+	pj := j.ReceivedPower(p, *d)
+	fmt.Printf("\njammer: Pj=%.0f mW, Gj=%.0f dBi, Bj=%.0f MHz\n",
+		j.PeakPowerW*1e3, j.AntennaGainDBi, j.BandwidthHz/units.MHz)
+	fmt.Printf("Eqn 10   jamming power:    %.3e W\n", pj)
+	ratio := j.PowerRatio(p, *d)
+	fmt.Printf("Eqn 11   power ratio Ps/Pj = %.4g — jamming %s at %.1f m\n",
+		ratio, successWord(ratio), *d)
+	fmt.Printf("         burn-through range: %.2f m\n", j.BurnThroughRange(p))
+}
+
+func successWord(ratio float64) string {
+	if ratio < 1 {
+		return "SUCCEEDS"
+	}
+	return "fails"
+}

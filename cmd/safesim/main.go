@@ -1,0 +1,111 @@
+// Command safesim runs a single car-following scenario with a configurable
+// attack and defense, printing the trajectory plots and the run summary.
+//
+// Usage:
+//
+//	safesim [-attack none|dos|delay] [-defended] [-steps N] [-seed S]
+//	        [-offset M] [-onset K] [-leader const|phased] [-csv FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"safesense/internal/attack"
+	"safesense/internal/sim"
+	"safesense/internal/trace"
+)
+
+func main() {
+	attackKind := flag.String("attack", "dos", "attack to mount: none, dos, delay")
+	defended := flag.Bool("defended", true, "enable the CRA + RLS defense")
+	steps := flag.Int("steps", 301, "simulation horizon in seconds")
+	seed := flag.Int64("seed", 1, "random seed")
+	offset := flag.Float64("offset", 6, "delay-injection distance offset in meters")
+	onset := flag.Int("onset", 182, "attack onset step")
+	leader := flag.String("leader", "const", "leader profile: const (Fig 2) or phased (Fig 3)")
+	csvPath := flag.String("csv", "", "write the distance trace set as CSV to this file")
+	width := flag.Int("width", 96, "plot width")
+	height := flag.Int("height", 20, "plot height")
+	flag.Parse()
+
+	if err := run(*attackKind, *leader, *csvPath, *defended, *steps, *seed, *offset, *onset, *width, *height); err != nil {
+		fmt.Fprintln(os.Stderr, "safesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(attackKind, leader, csvPath string, defended bool, steps int, seed int64, offset float64, onset, width, height int) error {
+	var s sim.Scenario
+	switch leader {
+	case "const":
+		s = sim.Fig2aDoS()
+	case "phased":
+		s = sim.Fig3aDoS()
+	default:
+		return fmt.Errorf("unknown leader profile %q", leader)
+	}
+	s.Steps = steps
+	s.Seed = seed
+	s.Defended = defended
+	s.Name = fmt.Sprintf("safesim-%s-%s", attackKind, leader)
+
+	window := attack.Window{Start: onset, End: steps - 1}
+	switch attackKind {
+	case "none":
+		s.Attack = sim.AttackSpec{Kind: sim.NoAttack}
+	case "dos":
+		s.Attack = sim.AttackSpec{Kind: sim.DoSAttack, Window: window, Jammer: attack.PaperJammer()}
+	case "delay":
+		s.Attack = sim.AttackSpec{Kind: sim.DelayAttack, Window: window, OffsetM: offset}
+	default:
+		return fmt.Errorf("unknown attack %q", attackKind)
+	}
+
+	res, err := sim.Run(s)
+	if err != nil {
+		return err
+	}
+	opt := trace.PlotOptions{Width: width, Height: height}
+	if err := res.Distance.RenderASCII(os.Stdout, opt); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := res.Speeds.RenderASCII(os.Stdout, opt); err != nil {
+		return err
+	}
+	fmt.Println()
+	printSummary(res)
+
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.Distance.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", csvPath)
+	}
+	return nil
+}
+
+func printSummary(res *sim.Result) {
+	fmt.Printf("scenario: %s (attack=%s, defended=%v, seed=%d)\n",
+		res.Scenario.Name, res.Scenario.Attack.Kind, res.Scenario.Defended, res.Scenario.Seed)
+	if res.Scenario.Defended {
+		fmt.Printf("detection: at k=%d; challenge confusion TP=%d TN=%d FP=%d FN=%d\n",
+			res.DetectedAt, res.Accuracy.TruePositives, res.Accuracy.TrueNegatives,
+			res.Accuracy.FalsePositives, res.Accuracy.FalseNegatives)
+		fmt.Printf("recovery: %d estimated steps, dist RMSE %.2f m, vel RMSE %.3f m/s, RLS time %d ns\n",
+			res.EstimateSteps, res.EstimateDistRMSE, res.EstimateVelRMSE, res.RLSTime.Nanoseconds())
+	}
+	fmt.Printf("safety: min gap %.2f m", res.MinGap)
+	if res.CollisionAt >= 0 {
+		fmt.Printf(" — COLLISION at k=%d", res.CollisionAt)
+	}
+	fmt.Printf("; final gap %.2f m, final follower speed %.2f m/s\n",
+		res.FinalGap, res.FinalFollowerSpeed)
+}

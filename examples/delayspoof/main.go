@@ -1,0 +1,51 @@
+// Delay-injection case study: the adversary replays the radar's reflection
+// with extra physical delay so the follower believes the leader is 6 m
+// farther than it is (Section 4.1). The example contrasts three runs —
+// clean, attacked-undefended, attacked-defended — and reports the safety
+// margin each one keeps, reproducing the Figure 2b storyline.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"safesense"
+)
+
+func main() {
+	scen := safesense.Fig2bDelay()
+
+	clean, err := safesense.Run(safesense.Baseline(scen))
+	if err != nil {
+		log.Fatal(err)
+	}
+	undefended, err := safesense.Run(safesense.Undefended(scen))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defended, err := safesense.Run(scen)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("delay-injection spoofing (+6 m after k = 180 s), leader braking at -0.1082 m/s^2")
+	fmt.Printf("%-22s %12s %12s %12s\n", "run", "min gap (m)", "final gap", "collision")
+	for _, r := range []struct {
+		name string
+		res  *safesense.Result
+	}{
+		{"clean (no attack)", clean},
+		{"attacked, undefended", undefended},
+		{"attacked, defended", defended},
+	} {
+		fmt.Printf("%-22s %12.2f %12.2f %12v\n",
+			r.name, r.res.MinGap, r.res.FinalGap, r.res.CollisionAt >= 0)
+	}
+	fmt.Printf("\ndefense detected the spoofer at k = %d s and delivered %d RLS estimates\n\n",
+		defended.DetectedAt, defended.EstimateSteps)
+
+	if err := defended.Distance.RenderASCII(os.Stdout, safesense.PlotOptions{Width: 90, Height: 16}); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,47 @@
+// Jammer design-space sweep: evaluate the Eqn 11 success condition
+// Ps/Pjammer < 1 across the radar's operating range for a family of
+// jammer powers, and find each jammer's burn-through range — the distance
+// below which the radar's own return overpowers the jamming.
+//
+// Because the target return falls as 1/d^4 while self-screening jamming
+// falls as 1/d^2, stronger jammers push the burn-through range toward the
+// radar: the paper's 100 mW jammer wins essentially everywhere beyond
+// ~2.3 m.
+package main
+
+import (
+	"fmt"
+
+	"safesense"
+)
+
+func main() {
+	p := safesense.BoschLRR2()
+	powers := []float64{1e-6, 1e-5, 1e-4, 1e-3, 100e-3}
+
+	fmt.Println("jamming success across the LRR2 range (Eqn 11; S = jammed, . = radar wins)")
+	fmt.Printf("%12s |", "Pj (W)")
+	distances := []float64{2, 5, 10, 20, 40, 60, 80, 100, 140, 200}
+	for _, d := range distances {
+		fmt.Printf("%5.0f", d)
+	}
+	fmt.Printf(" | burn-through (m)\n")
+
+	for _, pw := range powers {
+		j := safesense.PaperJammer()
+		j.PeakPowerW = pw
+		fmt.Printf("%12.0e |", pw)
+		for _, d := range distances {
+			mark := "    ."
+			if j.Succeeds(p, d) {
+				mark = "    S"
+			}
+			fmt.Print(mark)
+		}
+		fmt.Printf(" | %15.2f\n", j.BurnThroughRange(p))
+	}
+
+	fmt.Println("\npaper's jammer (100 mW, 10 dBi) at the 100 m case-study range:")
+	j := safesense.PaperJammer()
+	fmt.Printf("  Ps/Pjammer = %.4g -> attack %v\n", j.PowerRatio(p, 100), j.Succeeds(p, 100))
+}

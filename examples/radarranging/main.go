@@ -1,0 +1,49 @@
+// FMCW ranging demo: synthesize the radar's dechirped baseband signal for
+// targets across the operating range and recover distance and range rate
+// with both beat-frequency extractors — the FFT periodogram and the
+// root-MUSIC estimator the paper uses — directly through the radar
+// equations (Eqns 5–8).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"safesense"
+)
+
+func main() {
+	p := safesense.BoschLRR2()
+	src := safesense.NewNoiseSource(7)
+
+	extractors := []safesense.BeatExtractor{
+		safesense.FFTExtractor{},
+		safesense.MUSICExtractor{},
+	}
+
+	fmt.Println("FMCW ranging with the Bosch LRR2 model (256 samples/segment, thermal noise)")
+	fmt.Printf("%-12s %10s %10s %12s %12s %10s\n",
+		"extractor", "true d", "true dv", "measured d", "measured dv", "snr (dB)")
+	for _, target := range []struct{ d, v float64 }{
+		{10, -2.0},
+		{50, -1.0},
+		{100, -1.5},
+		{150, 0.5},
+		{195, 2.0},
+	} {
+		for _, ext := range extractors {
+			d, v, err := p.MeasureSweep(target.d, target.v, 256, ext, src)
+			if err != nil {
+				log.Fatalf("%s at %.0f m: %v", ext.Name(), target.d, err)
+			}
+			fmt.Printf("%-12s %10.1f %10.2f %12.3f %12.3f %10.1f\n",
+				ext.Name(), target.d, target.v, d, v, p.SNRdB(target.d))
+		}
+	}
+
+	// Show the underlying beat frequencies for the case-study geometry.
+	fbUp, fbDown := p.BeatFrequencies(100, -1.5)
+	fmt.Printf("\nEqn 5/6 at d=100 m, dv=-1.5 m/s: fb+ = %.1f Hz, fb- = %.1f Hz\n", fbUp, fbDown)
+	d, v := p.FromBeats(fbUp, fbDown)
+	fmt.Printf("Eqn 7/8 inversion: d = %.3f m, dv = %.3f m/s\n", d, v)
+}

@@ -1,0 +1,3 @@
+module safesense
+
+go 1.22

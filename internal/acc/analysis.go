@@ -1,0 +1,71 @@
+package acc
+
+import (
+	"math"
+
+	"safesense/internal/lti"
+	"safesense/internal/mat"
+)
+
+// LinearizedClosedLoop expresses the spacing-mode car-following loop as the
+// discrete-time LTI system of the paper's Section 3,
+//
+//	x_{k+1} = A x_k + B u_k,   y_k = C x_k + v_k,
+//
+// with state x = [d, vF, aF] (gap, follower speed, realized acceleration),
+// input u = vL (leader speed), and output y = d (the radar's distance
+// channel). The affine offset d0 is dropped by linearizing about the
+// equilibrium gap d* = d0 + tau_h vL.
+//
+// Dynamics, with T the sample period, phi = exp(-T/Ti) the lower-level lag
+// pole, and c = T/(tau_h K1) the CTH gain:
+//
+//	a_des = (c/T) (d - d0 + vL - (1 + tau_h) vF)
+//	aF'   = phi aF + (1 - phi) K1 a_des
+//	vF'   = vF + T aF'
+//	d'    = d + T (vL - vF)
+//
+// The returned system carries the radar's measurement noise standard
+// deviation on the output when measStd > 0.
+func LinearizedClosedLoop(cfg Config, measStd float64) (*lti.System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	tSamp := cfg.SamplePeriod
+	phi := math.Exp(-tSamp / cfg.TimeConstant)
+	// a_des = g (d + vL - (1+tau_h) vF) with g = 1/(tau_h K1) per second.
+	g := 1 / (cfg.HeadwayTime * cfg.Gain)
+	k1 := cfg.Gain
+	// Shorthand for the lower-level injection of a_des into aF'.
+	inj := (1 - phi) * k1 * g
+
+	// The gap integrates the *updated* follower speed (matching the
+	// simulation's ordering: command, actuate, then move):
+	//
+	//	d' = d + T (vL - vF')
+	a := mat.NewDenseData(3, 3, []float64{
+		// d' = (1 - T^2 inj) d - T (1 - T inj (1+tau_h)) vF - T^2 phi aF
+		1 - tSamp*tSamp*inj, -tSamp * (1 - tSamp*inj*(1+cfg.HeadwayTime)), -tSamp * tSamp * phi,
+		// vF' = vF + T aF' = T*inj*d + (1 - T*inj*(1+tau_h)) vF + T*phi aF
+		tSamp * inj, 1 - tSamp*inj*(1+cfg.HeadwayTime), tSamp * phi,
+		// aF' = inj*d - inj*(1+tau_h) vF + phi aF
+		inj, -inj * (1 + cfg.HeadwayTime), phi,
+	})
+	b := mat.NewDenseData(3, 1, []float64{
+		tSamp * (1 - tSamp*inj), // d' gains T vL - T^2 inj vL via vF'
+		tSamp * inj,             // vF' via aF'
+		inj,                     // aF'
+	})
+	c := mat.NewDenseData(1, 3, []float64{1, 0, 0})
+	var std []float64
+	if measStd > 0 {
+		std = []float64{measStd}
+	}
+	return lti.NewSystem(a, b, c, std)
+}
+
+// EquilibriumGap returns the linearized loop's steady-state gap for a
+// constant leader speed: d* = d0 + tau_h * vL (the CTH set point).
+func EquilibriumGap(cfg Config, vL float64) float64 {
+	return cfg.StopDistance + cfg.HeadwayTime*vL
+}

@@ -1,0 +1,116 @@
+package acc
+
+import (
+	"math"
+	"testing"
+
+	"safesense/internal/units"
+)
+
+func TestLinearizedClosedLoopStable(t *testing.T) {
+	sys, err := LinearizedClosedLoop(cfg(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Stable() {
+		t.Fatal("the paper's controller gains must yield a Schur-stable loop")
+	}
+}
+
+func TestLinearizedClosedLoopObservableControllable(t *testing.T) {
+	sys, err := LinearizedClosedLoop(cfg(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observable through the radar's distance channel — the property the
+	// related work ([1] in the paper) requires for secure estimation.
+	if !sys.Observable() {
+		t.Fatal("distance-observed loop must be observable")
+	}
+	// Controllable from the leader-speed input.
+	if !sys.Controllable() {
+		t.Fatal("loop must be controllable from vL")
+	}
+}
+
+func TestLinearizedEquilibriumMatchesCTH(t *testing.T) {
+	// Drive the linearized system with constant vL; the gap must settle
+	// at the CTH set point relative to the linearization offset: since
+	// the affine d0 is dropped, the linear system settles at d = tau_h*vL
+	// + d0 once the offset is re-added via EquilibriumGap.
+	c := cfg()
+	sys, err := LinearizedClosedLoop(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vL := 20.0
+	x := []float64{0, 0, 0}
+	for k := 0; k < 2000; k++ {
+		x = sys.Step(x, []float64{vL})
+	}
+	// Steady state of the linear part: d* - d0 = tau_h * vL + ... Verify
+	// via the defining equations instead: vF* = vL and aF* = 0.
+	if math.Abs(x[1]-vL) > 1e-6 {
+		t.Fatalf("steady follower speed %v, want %v", x[1], vL)
+	}
+	if math.Abs(x[2]) > 1e-6 {
+		t.Fatalf("steady acceleration %v, want 0", x[2])
+	}
+	// And the linear gap satisfies a_des = 0:
+	// d* + vL - (1+tau_h) vF* = d0-term... with the affine part dropped,
+	// d* = (1+tau_h) vL - vL = tau_h * vL.
+	if math.Abs(x[0]-c.HeadwayTime*vL) > 1e-5 {
+		t.Fatalf("steady linear gap %v, want %v", x[0], c.HeadwayTime*vL)
+	}
+	// The physical equilibrium gap adds d0 back.
+	if got := EquilibriumGap(c, vL); math.Abs(got-(5+3*vL)) > 1e-12 {
+		t.Fatalf("EquilibriumGap = %v", got)
+	}
+}
+
+func TestLinearizedMatchesNonlinearSimulation(t *testing.T) {
+	// In spacing mode, away from saturations and standstill, the full
+	// controller + kinematics should follow the linearized model closely.
+	c := cfg()
+	sys, err := LinearizedClosedLoop(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nonlinear loop.
+	ctl, err := NewController(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vL := units.MphToMps(60)
+	// Start near equilibrium with a small perturbation.
+	dPhys := EquilibriumGap(c, vL) + 3
+	vF := vL - 0.5
+	aF := 0.0
+	// Linear state is the deviation-free absolute gap minus d0.
+	x := []float64{dPhys - c.StopDistance, vF, aF}
+	for k := 0; k < 40; k++ {
+		cmd := ctl.Upper.Step(dPhys, vL-vF, vF, true)
+		if cmd.Mode != SpacingControl {
+			t.Fatalf("left spacing mode at %d", k)
+		}
+		aF = ctl.Lower.Step(cmd.ADes)
+		vF += aF * c.SamplePeriod
+		dPhys += (vL - vF) * c.SamplePeriod
+
+		x = sys.Step(x, []float64{vL})
+		if math.Abs((x[0]+c.StopDistance)-dPhys) > 0.75 {
+			t.Fatalf("k=%d: linear gap %v vs nonlinear %v", k, x[0]+c.StopDistance, dPhys)
+		}
+		if math.Abs(x[1]-vF) > 0.5 {
+			t.Fatalf("k=%d: linear vF %v vs nonlinear %v", k, x[1], vF)
+		}
+	}
+}
+
+func TestLinearizedRejectsBadConfig(t *testing.T) {
+	bad := cfg()
+	bad.HeadwayTime = 0
+	if _, err := LinearizedClosedLoop(bad, 0); err == nil {
+		t.Fatal("invalid config should fail")
+	}
+}

@@ -1,0 +1,108 @@
+package acc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"safesense/internal/noise"
+)
+
+// TestSpacingLawMonotoneProperty: with everything else fixed, a larger gap
+// (or a faster-receding leader) never yields a smaller desired speed.
+func TestSpacingLawMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		src := noise.NewSource(seed)
+		v := src.Uniform(5, 35)
+		d := src.Uniform(5, 80)
+		dv := src.Uniform(-5, 5)
+		mk := func(d, dv float64) float64 {
+			u, err := NewUpperController(cfg())
+			if err != nil {
+				return math.NaN()
+			}
+			return u.Step(d, dv, v, true).VDes
+		}
+		if mk(d+1, dv) < mk(d, dv) {
+			return false
+		}
+		return mk(d, dv+1) >= mk(d, dv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCommandAlwaysWithinActuatorLimitsProperty: no input combination can
+// command beyond the saturation bounds.
+func TestCommandAlwaysWithinActuatorLimitsProperty(t *testing.T) {
+	c := cfg()
+	f := func(d, dv, v float64) bool {
+		for _, x := range []float64{d, dv, v} {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		if v < 0 {
+			v = -v
+		}
+		u, err := NewUpperController(c)
+		if err != nil {
+			return false
+		}
+		cmd := u.Step(d, dv, v, true)
+		return cmd.ADes <= c.AccelMax+1e-12 && cmd.ADes >= -c.BrakeMax-1e-12 && cmd.VDes >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestModeArbitrationPicksConservativeProperty: the arbitrated VDes is
+// never above the speed-mode command.
+func TestModeArbitrationPicksConservativeProperty(t *testing.T) {
+	c := cfg()
+	f := func(seed int64) bool {
+		src := noise.NewSource(seed)
+		u, err := NewUpperController(c)
+		if err != nil {
+			return false
+		}
+		cmd := u.Step(src.Uniform(1, 300), src.Uniform(-20, 20), src.Uniform(0, 40), true)
+		return cmd.VDes <= c.SetSpeed+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLowerControllerBIBOProperty: bounded demands keep the realized
+// acceleration within the demand's historical bounds (DC gain 1,
+// first-order lag).
+func TestLowerControllerBIBOProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		src := noise.NewSource(seed)
+		l, err := NewLowerController(cfg())
+		if err != nil {
+			return false
+		}
+		lo, hi := 0.0, 0.0
+		for k := 0; k < 200; k++ {
+			u := src.Uniform(-6, 2.5)
+			if u < lo {
+				lo = u
+			}
+			if u > hi {
+				hi = u
+			}
+			a := l.Step(u)
+			if a < lo-1e-9 || a > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+package attack
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"safesense/internal/noise"
+	"safesense/internal/radar"
+)
+
+func TestWindow(t *testing.T) {
+	w := Window{Start: 182, End: 300}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		k    int
+		want bool
+	}{{181, false}, {182, true}, {250, true}, {300, true}, {301, false}} {
+		if got := w.Contains(c.k); got != c.want {
+			t.Fatalf("Contains(%d) = %v", c.k, got)
+		}
+	}
+	if err := (Window{Start: 5, End: 4}).Validate(); err == nil {
+		t.Fatal("inverted window should fail")
+	}
+}
+
+func TestJammerReceivedPowerInverseSquare(t *testing.T) {
+	j := PaperJammer()
+	p := radar.BoschLRR2()
+	p50 := j.ReceivedPower(p, 50)
+	p100 := j.ReceivedPower(p, 100)
+	if math.Abs(p50/p100-4) > 1e-9 {
+		t.Fatalf("jammer power ratio = %v, want 4 (1/d^2)", p50/p100)
+	}
+}
+
+func TestPaperJammerWinsAtCaseStudyRange(t *testing.T) {
+	// Section 6.2: the paper's jammer corrupts the radar at ~100 m, so the
+	// Eqn 11 ratio must be < 1 there.
+	j := PaperJammer()
+	p := radar.BoschLRR2()
+	if !j.Succeeds(p, 100) {
+		t.Fatalf("paper jammer should succeed at 100 m (ratio %v)", j.PowerRatio(p, 100))
+	}
+}
+
+func TestPowerRatioMonotoneDecreasing(t *testing.T) {
+	// Target return ~ 1/d^4, jamming ~ 1/d^2: ratio must fall with d.
+	j := PaperJammer()
+	p := radar.BoschLRR2()
+	prev := math.Inf(1)
+	for d := 2.0; d <= 200; d += 2 {
+		r := j.PowerRatio(p, d)
+		if r >= prev {
+			t.Fatalf("ratio not decreasing at %v m", d)
+		}
+		prev = r
+	}
+}
+
+func TestBurnThroughRange(t *testing.T) {
+	p := radar.BoschLRR2()
+	// The paper's jammer is strong: check a weak jammer has a crossover
+	// inside the operating range and the ordering is correct around it.
+	weak := PaperJammer()
+	weak.PeakPowerW = 2e-4
+	bt := weak.BurnThroughRange(p)
+	if bt <= p.MinRangeM || bt >= p.MaxRangeM {
+		t.Fatalf("weak jammer burn-through = %v, want interior", bt)
+	}
+	if !(weak.PowerRatio(p, bt-1) > 1 && weak.PowerRatio(p, bt+1) < 1) {
+		t.Fatal("burn-through not a crossover")
+	}
+	// Absurdly strong jammer: wins everywhere.
+	strong := PaperJammer()
+	strong.PeakPowerW = 1e3
+	if got := strong.BurnThroughRange(p); got != 0 {
+		t.Fatalf("strong jammer burn-through = %v, want 0", got)
+	}
+	// No jammer to speak of: radar wins everywhere.
+	nil2 := PaperJammer()
+	nil2.PeakPowerW = 1e-15
+	if got := nil2.BurnThroughRange(p); got != p.MaxRangeM {
+		t.Fatalf("negligible jammer burn-through = %v, want max range", got)
+	}
+}
+
+func TestNoneAttackPassthrough(t *testing.T) {
+	var a None
+	clean := radar.Measurement{K: 3, Distance: 90, RelVelocity: -2, Power: 1e-12}
+	if got := a.Corrupt(3, clean); got != clean {
+		t.Fatal("None must be identity")
+	}
+	if a.Active(3) {
+		t.Fatal("None must never be active")
+	}
+}
+
+func TestDoSCorruption(t *testing.T) {
+	p := radar.BoschLRR2()
+	src := noise.NewSource(1)
+	a, err := NewDoS(Window{Start: 182, End: 300}, PaperJammer(), p, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := radar.Measurement{K: 200, Distance: 95, RelVelocity: -1, Power: p.ReceivedPower(95, p.TargetRCS)}
+	got := a.Corrupt(200, clean)
+	// Corrupted values are large and unrelated to the truth.
+	if got.Distance < 100 || got.Distance > 250 {
+		t.Fatalf("DoS distance = %v, want in [100, 250]", got.Distance)
+	}
+	if got.Power <= clean.Power {
+		t.Fatal("jamming must raise the receiver power")
+	}
+	// Outside the window the attack is a no-op.
+	if out := a.Corrupt(10, clean); out != clean {
+		t.Fatal("DoS outside window must be identity")
+	}
+}
+
+func TestDoSFloodsChallenges(t *testing.T) {
+	// The key detection property: a jammed challenge instant is NOT quiet.
+	p := radar.BoschLRR2()
+	src := noise.NewSource(2)
+	a, _ := NewDoS(Window{Start: 100, End: 200}, PaperJammer(), p, src)
+	challenge := radar.Measurement{K: 150, Challenge: true, Power: p.NoiseFloor()}
+	got := a.Corrupt(150, challenge)
+	threshold := 10 * p.NoiseFloor()
+	if got.IsZero(threshold) {
+		t.Fatalf("jammed challenge power %v below threshold %v", got.Power, threshold)
+	}
+	if !got.Challenge {
+		t.Fatal("Challenge flag must survive corruption")
+	}
+}
+
+func TestDoSValidation(t *testing.T) {
+	p := radar.BoschLRR2()
+	src := noise.NewSource(1)
+	if _, err := NewDoS(Window{Start: 5, End: 1}, PaperJammer(), p, src); err == nil {
+		t.Fatal("bad window should fail")
+	}
+	bad := PaperJammer()
+	bad.PeakPowerW = 0
+	if _, err := NewDoS(Window{Start: 1, End: 5}, bad, p, src); err == nil {
+		t.Fatal("bad jammer should fail")
+	}
+	if _, err := NewDoS(Window{Start: 1, End: 5}, PaperJammer(), p, nil); err == nil {
+		t.Fatal("nil source should fail")
+	}
+}
+
+func TestDelayInjectionOffset(t *testing.T) {
+	p := radar.BoschLRR2()
+	a, err := NewDelayInjection(Window{Start: 180, End: 300}, 6, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.OffsetMeters()-6) > 1e-9 {
+		t.Fatalf("offset = %v, want 6", a.OffsetMeters())
+	}
+	clean := radar.Measurement{K: 200, Distance: 95, RelVelocity: -1, Power: 1e-12}
+	got := a.Corrupt(200, clean)
+	if math.Abs(got.Distance-101) > 1e-9 {
+		t.Fatalf("spoofed distance = %v, want 101", got.Distance)
+	}
+	if got.RelVelocity != clean.RelVelocity {
+		t.Fatal("delay attack must not change velocity outside challenges")
+	}
+	if out := a.Corrupt(100, clean); out != clean {
+		t.Fatal("outside window must be identity")
+	}
+}
+
+func TestDelayInjectionLeaksIntoChallenges(t *testing.T) {
+	p := radar.BoschLRR2()
+	threshold := 10 * p.NoiseFloor()
+	for _, smart := range []bool{false, true} {
+		a, _ := NewDelayInjection(Window{Start: 100, End: 300}, 6, p)
+		a.KnowsSchedule = smart
+		challenge := radar.Measurement{K: 182, Challenge: true, Power: p.NoiseFloor()}
+		got := a.Corrupt(182, challenge)
+		if got.IsZero(threshold) {
+			t.Fatalf("smart=%v: spoofed challenge power %v below threshold %v", smart, got.Power, threshold)
+		}
+	}
+}
+
+func TestDelayInjectionValidation(t *testing.T) {
+	p := radar.BoschLRR2()
+	if _, err := NewDelayInjection(Window{Start: 5, End: 1}, 6, p); err == nil {
+		t.Fatal("bad window should fail")
+	}
+	if _, err := NewDelayInjection(Window{Start: 1, End: 5}, 0, p); err == nil {
+		t.Fatal("zero offset should fail")
+	}
+	if _, err := NewDelayInjection(Window{Start: 1, End: 5}, -3, p); err == nil {
+		t.Fatal("negative offset should fail")
+	}
+}
+
+func TestAttackNames(t *testing.T) {
+	p := radar.BoschLRR2()
+	src := noise.NewSource(1)
+	dos, _ := NewDoS(Window{Start: 1, End: 2}, PaperJammer(), p, src)
+	del, _ := NewDelayInjection(Window{Start: 1, End: 2}, 6, p)
+	if (None{}).Name() != "none" || dos.Name() != "dos" || del.Name() != "delay" {
+		t.Fatal("attack names wrong")
+	}
+}
+
+func TestDoSCorruptionBoundedProperty(t *testing.T) {
+	p := radar.BoschLRR2()
+	f := func(seed int64, k int) bool {
+		src := noise.NewSource(seed)
+		a, err := NewDoS(Window{Start: 0, End: 1 << 20}, PaperJammer(), p, src)
+		if err != nil {
+			return false
+		}
+		if k < 0 {
+			k = -k
+		}
+		k %= 1 << 20
+		clean := radar.Measurement{K: k, Distance: 90, Power: 1e-12}
+		got := a.Corrupt(k, clean)
+		return got.Distance >= 0 && got.Distance <= a.CorruptionScale &&
+			math.Abs(got.RelVelocity) <= a.CorruptionScale/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"safesense/internal/noise"
+	"safesense/internal/radar"
+)
+
+func TestDoSCorruptSweepFloodsChannel(t *testing.T) {
+	p := radar.BoschLRR2()
+	src := noise.NewSource(1)
+	a, err := NewDoS(Window{Start: 100, End: 200}, PaperJammer(), p, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet := p.SynthesizeSilence(128, src)
+	jammed := a.CorruptSweep(150, quiet, true)
+	if jammed.Power() < 100*quiet.Power() {
+		t.Fatalf("jammed power %v not far above quiet %v", jammed.Power(), quiet.Power())
+	}
+	// Outside the window: untouched.
+	out := a.CorruptSweep(50, quiet, true)
+	if out.Power() != quiet.Power() {
+		t.Fatal("DoS sweep corruption outside window")
+	}
+}
+
+func TestDelayCorruptSweepShiftsDistance(t *testing.T) {
+	p := radar.BoschLRR2()
+	a, err := NewDelayInjection(Window{Start: 100, End: 300}, 6, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.SynthesizeSweep(100, -1.0, 256, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spoofed := a.CorruptSweep(150, s, false)
+	fbUp, fbDown, err := (radar.FFTExtractor{}).Extract(spoofed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, v := p.FromBeats(fbUp, fbDown)
+	if math.Abs(d-106) > 1.0 {
+		t.Fatalf("spoofed distance = %v, want ~106", d)
+	}
+	// Doppler preserved: both slopes shift identically.
+	if math.Abs(v-(-1.0)) > 0.5 {
+		t.Fatalf("spoofed velocity = %v, want ~-1.0", v)
+	}
+	// The beat shift corresponds to exactly the configured offset.
+	if off := OffsetFromShift(p, a.BeatShiftHz()); math.Abs(off-6) > 1e-9 {
+		t.Fatalf("shift-offset inverse = %v, want 6", off)
+	}
+}
+
+func TestDelayCorruptSweepLeaksDuringChallenge(t *testing.T) {
+	p := radar.BoschLRR2()
+	src := noise.NewSource(2)
+	a, _ := NewDelayInjection(Window{Start: 100, End: 300}, 6, p)
+	quiet := p.SynthesizeSilence(128, src)
+	leaked := a.CorruptSweep(150, quiet, true)
+	threshold := 10 * p.NoiseFloor()
+	if leaked.Power() <= threshold {
+		t.Fatalf("challenge leak power %v below threshold %v", leaked.Power(), threshold)
+	}
+}
+
+func TestFastAdversaryValidation(t *testing.T) {
+	if _, err := NewFastAdversary(Window{Start: 5, End: 1}, 6); err == nil {
+		t.Fatal("bad window should fail")
+	}
+	if _, err := NewFastAdversary(Window{Start: 1, End: 5}, 0); err == nil {
+		t.Fatal("zero offset should fail")
+	}
+}
+
+func TestFastAdversaryEvadesChallenges(t *testing.T) {
+	a, err := NewFastAdversary(Window{Start: 100, End: 300}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "fast-adversary" {
+		t.Fatal("name")
+	}
+	// Normal instant: spoofed.
+	clean := radar.Measurement{K: 150, Distance: 90, Power: 1e-12}
+	got := a.Corrupt(150, clean)
+	if got.Distance != 96 {
+		t.Fatalf("spoofed distance = %v, want 96", got.Distance)
+	}
+	// Challenge instant: perfectly silent — the CRA-evading property.
+	challenge := radar.Measurement{K: 182, Challenge: true, Power: 1e-14}
+	if out := a.Corrupt(182, challenge); out != challenge {
+		t.Fatal("fast adversary must be invisible at challenge instants")
+	}
+	// Outside window: identity.
+	if out := a.Corrupt(50, clean); out != clean {
+		t.Fatal("outside window must be identity")
+	}
+}

@@ -1,0 +1,103 @@
+package cra
+
+import (
+	"testing"
+	"testing/quick"
+
+	"safesense/internal/noise"
+	"safesense/internal/prbs"
+	"safesense/internal/radar"
+)
+
+// TestDetectorNeverFlagsQuietChannelProperty: for any challenge schedule
+// and any sequence of quiet challenge readings, the detector must never
+// enter UnderAttack — the structural zero-false-positive property.
+func TestDetectorNeverFlagsQuietChannelProperty(t *testing.T) {
+	f := func(seed int64, width uint8) bool {
+		w := 1 + int(width%4)
+		sched, err := prbs.NewLFSRSchedule(11, uint32(seed)+1, w, 300)
+		if err != nil {
+			return false
+		}
+		d, err := NewDetector(sched, 1e-13)
+		if err != nil {
+			return false
+		}
+		src := noise.NewSource(seed)
+		for k := 0; k < 300; k++ {
+			power := 1e-11 * (1 + src.Uniform(0, 3)) // healthy returns
+			if sched.Challenge(k) {
+				power = 1e-14 * src.Uniform(0, 5) // quiet channel
+			}
+			ev := d.Step(radar.Measurement{K: k, Power: power, Challenge: sched.Challenge(k)})
+			if ev.State == UnderAttack {
+				return false
+			}
+		}
+		return len(d.Detections()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDetectorAlwaysFlagsHotChallengeProperty: energy at a challenge
+// instant always flips the state — zero false negatives at challenge
+// instants.
+func TestDetectorAlwaysFlagsHotChallengeProperty(t *testing.T) {
+	f := func(seed int64, hotRaw uint8) bool {
+		sched, err := prbs.NewLFSRSchedule(11, uint32(seed)+1, 3, 300)
+		if err != nil {
+			return false
+		}
+		steps := sched.Steps()
+		if len(steps) == 0 {
+			return true
+		}
+		hot := steps[int(hotRaw)%len(steps)]
+		d, err := NewDetector(sched, 1e-13)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < 300; k++ {
+			power := 1e-11
+			if sched.Challenge(k) {
+				power = 1e-14
+				if k == hot {
+					power = 1e-12 // above threshold
+				}
+			}
+			d.Step(radar.Measurement{K: k, Power: power, Challenge: sched.Challenge(k)})
+		}
+		dets := d.Detections()
+		return len(dets) == 1 && dets[0] == hot
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDetectorStateOnlyChangesAtChallengesProperty: arbitrary power values
+// at non-challenge steps never affect the state.
+func TestDetectorStateOnlyChangesAtChallengesProperty(t *testing.T) {
+	f := func(powers []float64) bool {
+		sched := prbs.NewFixedSchedule(1000) // no challenge in range
+		d, err := NewDetector(sched, 1e-13)
+		if err != nil {
+			return false
+		}
+		for i, p := range powers {
+			if p < 0 {
+				p = -p
+			}
+			ev := d.Step(radar.Measurement{K: i, Power: p})
+			if ev.State != Clear || ev.Detected || ev.ClearedNow {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,209 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randSignal(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxErr(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for t := 0; t < n; t++ {
+			s += x[t] * cmplx.Rect(1, -2*math.Pi*float64(k*t)/float64(n))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func TestForwardMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 31, 64, 100} {
+		x := randSignal(rng, n)
+		got := Forward(x)
+		want := naiveDFT(x)
+		if e := maxErr(got, want); e > 1e-8 {
+			t.Fatalf("n=%d: max error %v vs naive DFT", n, e)
+		}
+	}
+}
+
+func TestImpulseIsFlat(t *testing.T) {
+	x := make([]complex128, 16)
+	x[0] = 1
+	spec := Forward(x)
+	for k, v := range spec {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestSinusoidPeakBin(t *testing.T) {
+	// exp(2*pi*i*5*t/64): all energy in bin 5.
+	n := 64
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Rect(1, 2*math.Pi*5*float64(i)/float64(n))
+	}
+	spec := Forward(x)
+	for k, v := range spec {
+		want := 0.0
+		if k == 5 {
+			want = float64(n)
+		}
+		if math.Abs(cmplx.Abs(v)-want) > 1e-9 {
+			t.Fatalf("bin %d magnitude = %v, want %v", k, cmplx.Abs(v), want)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		x := randSignal(rng, n)
+		back := Inverse(Forward(x))
+		return maxErr(back, x) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// sum |x|^2 == (1/N) sum |X|^2.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(128)
+		x := randSignal(rng, n)
+		spec := Forward(x)
+		var ex, es float64
+		for _, v := range x {
+			ex += real(v)*real(v) + imag(v)*imag(v)
+		}
+		for _, v := range spec {
+			es += real(v)*real(v) + imag(v)*imag(v)
+		}
+		es /= float64(n)
+		return math.Abs(ex-es) < 1e-8*(1+ex)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(64)
+		x := randSignal(rng, n)
+		y := randSignal(rng, n)
+		a := complex(rng.NormFloat64(), rng.NormFloat64())
+		sum := make([]complex128, n)
+		for i := range sum {
+			sum[i] = a*x[i] + y[i]
+		}
+		left := Forward(sum)
+		fx, fy := Forward(x), Forward(y)
+		right := make([]complex128, n)
+		for i := range right {
+			right[i] = a*fx[i] + fy[i]
+		}
+		return maxErr(left, right) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForwardDoesNotMutate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := randSignal(rng, 33) // Bluestein path
+	orig := append([]complex128{}, x...)
+	_ = Forward(x)
+	if maxErr(x, orig) != 0 {
+		t.Fatal("Forward mutated input")
+	}
+	y := randSignal(rng, 32) // radix-2 path
+	origY := append([]complex128{}, y...)
+	_ = Forward(y)
+	if maxErr(y, origY) != 0 {
+		t.Fatal("Forward mutated input (radix-2)")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	if Forward(nil) != nil {
+		t.Fatal("Forward(nil) should be nil")
+	}
+	if Inverse(nil) != nil {
+		t.Fatal("Inverse(nil) should be nil")
+	}
+}
+
+func TestForwardReal(t *testing.T) {
+	x := []float64{1, 0, -1, 0} // cos(pi*t/2): energy split between bins 1 and 3.
+	spec := ForwardReal(x)
+	if cmplx.Abs(spec[1]-2) > 1e-12 || cmplx.Abs(spec[3]-2) > 1e-12 {
+		t.Fatalf("spectrum = %v", spec)
+	}
+	if cmplx.Abs(spec[0]) > 1e-12 || cmplx.Abs(spec[2]) > 1e-12 {
+		t.Fatalf("leakage into DC/Nyquist: %v", spec)
+	}
+}
+
+func TestFreqBins(t *testing.T) {
+	f := FreqBins(8, 800)
+	want := []float64{0, 100, 200, 300, 400, -300, -200, -100}
+	for i := range want {
+		if math.Abs(f[i]-want[i]) > 1e-9 {
+			t.Fatalf("FreqBins = %v, want %v", f, want)
+		}
+	}
+}
+
+func TestHermitianSymmetryForRealInput(t *testing.T) {
+	// Real input: X[n-k] == conj(X[k]).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(63)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		spec := ForwardReal(x)
+		for k := 1; k < n; k++ {
+			if cmplx.Abs(spec[n-k]-cmplx.Conj(spec[k])) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

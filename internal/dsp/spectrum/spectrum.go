@@ -1,0 +1,175 @@
+// Package spectrum implements periodogram power spectral density estimation
+// and peak picking with parabolic interpolation — the FFT-based
+// beat-frequency extractor that the radar ablation compares against
+// root-MUSIC.
+package spectrum
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"safesense/internal/dsp/fft"
+	"safesense/internal/dsp/window"
+)
+
+// Periodogram returns the windowed periodogram |FFT(w.x)|^2 / (N*U) of the
+// signal and the frequency of each bin for sample rate fs. U is the window
+// power normalization so white noise yields a flat density.
+func Periodogram(x []complex128, w []float64, fs float64) (psd, freqs []float64) {
+	n := len(x)
+	if n == 0 {
+		return nil, nil
+	}
+	if w == nil {
+		w = window.Rect(n)
+	}
+	u := 0.0
+	for _, v := range w {
+		u += v * v
+	}
+	u /= float64(n)
+	spec := fft.Forward(window.Apply(x, w))
+	psd = make([]float64, n)
+	for i, v := range spec {
+		psd[i] = (real(v)*real(v) + imag(v)*imag(v)) / (float64(n) * u)
+	}
+	return psd, fft.FreqBins(n, fs)
+}
+
+// Peak is a located spectral peak.
+type Peak struct {
+	// Freq is the interpolated peak frequency in Hz.
+	Freq float64
+	// Power is the peak PSD value.
+	Power float64
+	// Bin is the integer bin index of the maximum.
+	Bin int
+}
+
+// FindPeaks locates up to k local maxima of the PSD, strongest first, and
+// refines each frequency by parabolic interpolation over log power. Peaks
+// closer than minSepBins bins to an already accepted stronger peak are
+// suppressed.
+func FindPeaks(psd, freqs []float64, k, minSepBins int) ([]Peak, error) {
+	n := len(psd)
+	if n != len(freqs) {
+		return nil, errors.New("spectrum: psd/freqs length mismatch")
+	}
+	if k <= 0 {
+		return nil, errors.New("spectrum: k must be positive")
+	}
+	type cand struct {
+		bin int
+		p   float64
+	}
+	var cands []cand
+	for i := 0; i < n; i++ {
+		prev := psd[(i-1+n)%n]
+		next := psd[(i+1)%n]
+		if psd[i] >= prev && psd[i] >= next && psd[i] > 0 {
+			cands = append(cands, cand{i, psd[i]})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].p > cands[b].p })
+	var out []Peak
+	for _, c := range cands {
+		if len(out) == k {
+			break
+		}
+		ok := true
+		for _, p := range out {
+			if binDist(c.bin, p.Bin, n) < minSepBins {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		out = append(out, Peak{
+			Freq:  interpolate(psd, freqs, c.bin),
+			Power: c.p,
+			Bin:   c.bin,
+		})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("spectrum: no peaks found")
+	}
+	return out, nil
+}
+
+func binDist(a, b, n int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if n-d < d {
+		d = n - d
+	}
+	return d
+}
+
+// interpolate refines the peak location with a parabolic fit over log power
+// on the three bins around the maximum, then converts the fractional bin to
+// frequency assuming uniform bin spacing.
+func interpolate(psd, freqs []float64, bin int) float64 {
+	n := len(psd)
+	im := (bin - 1 + n) % n
+	ip := (bin + 1) % n
+	// Exact-bin tones leave only FFT round-off in the neighbors; parabolic
+	// interpolation over those junk values adds noise, so skip it.
+	if psd[im] < psd[bin]*1e-9 && psd[ip] < psd[bin]*1e-9 {
+		return freqs[bin]
+	}
+	ym := safeLog(psd[im])
+	y0 := safeLog(psd[bin])
+	yp := safeLog(psd[ip])
+	den := ym - 2*y0 + yp
+	delta := 0.0
+	if den != 0 {
+		delta = 0.5 * (ym - yp) / den
+		if delta > 0.5 {
+			delta = 0.5
+		} else if delta < -0.5 {
+			delta = -0.5
+		}
+	}
+	// Uniform spacing: df from adjacent bins (watch the wrap at n/2).
+	df := freqs[1] - freqs[0]
+	if len(freqs) > 1 {
+		return freqs[bin] + delta*df
+	}
+	return freqs[bin]
+}
+
+func safeLog(x float64) float64 {
+	if x <= 0 {
+		return -745 // log of smallest positive double
+	}
+	return math.Log(x)
+}
+
+// DominantFrequency returns the interpolated frequency of the strongest
+// peak of the windowed periodogram of x.
+func DominantFrequency(x []complex128, w []float64, fs float64) (float64, error) {
+	psd, freqs := Periodogram(x, w, fs)
+	peaks, err := FindPeaks(psd, freqs, 1, 1)
+	if err != nil {
+		return 0, err
+	}
+	return peaks[0].Freq, nil
+}
+
+// TotalPower integrates the PSD over all bins (Parseval-consistent power
+// estimate in signal units).
+func TotalPower(psd []float64) float64 {
+	s := 0.0
+	for _, v := range psd {
+		s += v
+	}
+	if len(psd) == 0 {
+		return 0
+	}
+	return s / float64(len(psd))
+}

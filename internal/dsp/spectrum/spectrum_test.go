@@ -1,0 +1,145 @@
+package spectrum
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"safesense/internal/dsp/window"
+	"safesense/internal/noise"
+)
+
+func tone(n int, freq, fs float64) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Rect(1, 2*math.Pi*freq*float64(i)/fs)
+	}
+	return x
+}
+
+func TestDominantFrequencyExactBin(t *testing.T) {
+	fs := 1000.0
+	x := tone(256, 125, fs) // bin 32 exactly
+	got, err := DominantFrequency(x, nil, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-125) > 1e-6 {
+		t.Fatalf("freq = %v, want 125", got)
+	}
+}
+
+func TestDominantFrequencyOffBin(t *testing.T) {
+	// Off-bin tone: parabolic interpolation should get within a fraction
+	// of a bin (bin width = fs/n = 3.90625 Hz).
+	fs := 1000.0
+	x := tone(256, 127.3, fs)
+	got, err := DominantFrequency(x, window.Hann(256), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-127.3) > 1.0 {
+		t.Fatalf("freq = %v, want ~127.3", got)
+	}
+}
+
+func TestDominantFrequencyNegative(t *testing.T) {
+	fs := 1000.0
+	x := tone(256, -250, fs)
+	got, err := DominantFrequency(x, nil, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-(-250)) > 1e-6 {
+		t.Fatalf("freq = %v, want -250", got)
+	}
+}
+
+func TestFindTwoPeaks(t *testing.T) {
+	fs := 1000.0
+	n := 512
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = tone(n, 100, fs)[i] + tone(n, 300, fs)[i]
+	}
+	psd, freqs := Periodogram(x, window.Hann(n), fs)
+	peaks, err := FindPeaks(psd, freqs, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peaks) != 2 {
+		t.Fatalf("found %d peaks", len(peaks))
+	}
+	got := []float64{peaks[0].Freq, peaks[1].Freq}
+	if got[0] > got[1] {
+		got[0], got[1] = got[1], got[0]
+	}
+	if math.Abs(got[0]-100) > 2 || math.Abs(got[1]-300) > 2 {
+		t.Fatalf("peaks = %v, want ~[100 300]", got)
+	}
+}
+
+func TestPeaksInNoise(t *testing.T) {
+	fs := 1000.0
+	n := 1024
+	src := noise.NewSource(11)
+	x := src.AddAWGN(tone(n, 222, fs), 10)
+	got, err := DominantFrequency(x, window.Hann(n), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-222) > 2 {
+		t.Fatalf("freq in noise = %v, want ~222", got)
+	}
+}
+
+func TestPeriodogramParseval(t *testing.T) {
+	// Rectangular-window periodogram total power equals signal power.
+	src := noise.NewSource(3)
+	x := src.ComplexNoiseVec(256, 2.0)
+	psd, _ := Periodogram(x, nil, 1)
+	got := TotalPower(psd)
+	want := noise.AveragePower(x)
+	if math.Abs(got-want) > 1e-9*(1+want) {
+		t.Fatalf("TotalPower = %v, want %v", got, want)
+	}
+}
+
+func TestFindPeaksValidation(t *testing.T) {
+	if _, err := FindPeaks([]float64{1, 2}, []float64{0}, 1, 1); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := FindPeaks([]float64{1, 2}, []float64{0, 1}, 0, 1); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+	// All-zero PSD: no positive local maxima.
+	if _, err := FindPeaks([]float64{0, 0, 0}, []float64{0, 1, 2}, 1, 1); err == nil {
+		t.Fatal("flat zero PSD should fail")
+	}
+}
+
+func TestPeriodogramEmpty(t *testing.T) {
+	psd, freqs := Periodogram(nil, nil, 1)
+	if psd != nil || freqs != nil {
+		t.Fatal("empty input should yield nil")
+	}
+}
+
+func TestMinSeparationSuppression(t *testing.T) {
+	// Single strong tone with window side lobes: requesting 2 peaks with a
+	// wide separation must not return two picks inside the main lobe.
+	fs := 1000.0
+	n := 256
+	x := tone(n, 125, fs)
+	psd, freqs := Periodogram(x, window.Hamming(n), fs)
+	peaks, err := FindPeaks(psd, freqs, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peaks) >= 2 {
+		sep := math.Abs(peaks[0].Freq - peaks[1].Freq)
+		if sep < 10*fs/float64(n) {
+			t.Fatalf("peaks too close: %v Hz apart", sep)
+		}
+	}
+}

@@ -1,0 +1,332 @@
+package estimate
+
+import (
+	"fmt"
+	"math"
+
+	"safesense/internal/mat"
+)
+
+// Predictor wraps an RLS filter into the measurement estimator of the
+// paper's Algorithm 2. The regressor h_k — the "entries of measurement
+// matrix" of Algorithm 1 — is a polynomial time basis [1, tau, tau^2, ...],
+// so the filter performs exponentially weighted recursive polynomial
+// regression on the measurement stream. During normal operation each
+// accepted sensor value updates the fit; once the CRA detector flags an
+// attack the fit is frozen and evaluated at future time steps, supplying
+// the controller with a stable extrapolation of the pre-attack trend for
+// the duration of the attack.
+//
+// Numerically, the basis is re-centered on the current step: before each
+// sample the weight vector and P matrix are translated one step back in
+// time (RLS.Translate), and the update always uses the regressor
+// [1, 0, 0, ...]. This is algebraically identical to regressing on
+// absolute time but keeps the information matrix stationary and well
+// conditioned — regressing on raw absolute time suffers covariance
+// wind-up under a forgetting factor, and an autoregressive basis (whose
+// noisy roots stray outside the unit circle) diverges exponentially over
+// the paper's ~2-minute attack window.
+type Predictor struct {
+	rls   *RLS
+	cfg   PredictorConfig
+	shift *mat.Dense // one-step basis translation matrix
+	n     int        // samples observed since the last reset
+	ahead int        // free-run steps since the last Observe
+	wall  int        // wall-clock step of the last Observe/SkipStep/Predict
+
+	// CUSUM change detection state (see PredictorConfig.ChangeDetect).
+	sigma2 float64 // EWMA of squared residuals
+	sigmaN int     // residuals absorbed into sigma2
+	gPos   float64 // one-sided CUSUM statistics
+	gNeg   float64
+	resets int
+
+	freeRunning bool
+}
+
+// PredictorConfig parameterizes a measurement predictor.
+type PredictorConfig struct {
+	// Degree is the polynomial degree of the time basis (1 = local linear
+	// trend, the case-study default).
+	Degree int
+	// Lambda is the RLS forgetting factor in (0, 1]; values below 1 make
+	// the fit local so the extrapolation continues the *recent* trend.
+	Lambda float64
+	// Delta initializes P = Delta*I (the paper uses 1).
+	Delta float64
+	// TimeScale divides the step index in the basis for conditioning
+	// (tau advances by 1/TimeScale per step). Zero means 8.
+	TimeScale float64
+	// ChangeDetect enables CUSUM monitoring of the one-step residuals:
+	// when the monitored signal switches regime (the Figure 3 leader
+	// flips from deceleration to acceleration), the discounted fit still
+	// carries pre-change data whose weight decays only geometrically, and
+	// an attack detected shortly after the switch would free-run on a
+	// contaminated slope — a quadratically growing distance error. On a
+	// CUSUM alarm the filter resets and refits from post-change samples
+	// only.
+	ChangeDetect bool
+	// ChangeThreshold is the CUSUM alarm level in residual standard
+	// deviations (zero means 8).
+	ChangeThreshold float64
+	// ChangeDrift is the CUSUM slack per step in standard deviations
+	// (zero means 0.5).
+	ChangeDrift float64
+}
+
+// DefaultPredictorConfig returns the configuration used by the case study:
+// a local linear trend with ~16-step memory — enough to extrapolate the
+// smooth distance/velocity evolution of car following through the attack.
+func DefaultPredictorConfig() PredictorConfig {
+	return PredictorConfig{
+		Degree: 1, Lambda: 0.98, Delta: 100, TimeScale: 8,
+		ChangeDetect: true, ChangeThreshold: 8, ChangeDrift: 0.5,
+	}
+}
+
+// NewPredictor builds a Predictor.
+func NewPredictor(cfg PredictorConfig) (*Predictor, error) {
+	if cfg.Degree < 0 {
+		return nil, fmt.Errorf("estimate: predictor degree must be >= 0, got %d", cfg.Degree)
+	}
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = 8
+	}
+	if cfg.TimeScale < 0 {
+		return nil, fmt.Errorf("estimate: time scale must be positive, got %v", cfg.TimeScale)
+	}
+	r, err := NewRLS(cfg.Degree+1, cfg.Lambda, cfg.Delta)
+	if err != nil {
+		return nil, err
+	}
+	return &Predictor{
+		rls:   r,
+		cfg:   cfg,
+		shift: shiftMatrix(cfg.Degree, 1/cfg.TimeScale),
+		wall:  -1,
+	}, nil
+}
+
+// shiftMatrix returns M with M[j][i] = C(i, j) s^(i-j) for j <= i: the
+// basis-change that moves the polynomial origin forward by s, so a sample
+// previously at tau = 0 sits at tau = -s afterwards. Derivation: with
+// tau_old = tau_new + s, w_new[j] = sum_{i>=j} C(i, j) s^(i-j) w_old[i]
+// keeps w_new^T h(tau_new) == w_old^T h(tau_old).
+func shiftMatrix(degree int, s float64) *mat.Dense {
+	n := degree + 1
+	m := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		c := 1.0
+		for j := i; j >= 0; j-- {
+			m.Set(j, i, c*math.Pow(s, float64(i-j)))
+			c = c * float64(j) / float64(i-j+1)
+		}
+	}
+	return m
+}
+
+// nowBasis is the regressor for "the current step" in recentered
+// coordinates: [1, 0, 0, ...].
+func (p *Predictor) nowBasis() []float64 {
+	h := make([]float64, p.cfg.Degree+1)
+	h[0] = 1
+	return h
+}
+
+// horizonBasis evaluates the basis at j steps ahead of the current origin.
+func (p *Predictor) horizonBasis(j int) []float64 {
+	tau := float64(j) / p.cfg.TimeScale
+	h := make([]float64, p.cfg.Degree+1)
+	v := 1.0
+	for i := range h {
+		h[i] = v
+		v *= tau
+	}
+	return h
+}
+
+// Ready reports whether enough samples have been observed for the fit to
+// be determined (at least Degree+1 points).
+func (p *Predictor) Ready() bool { return p.n >= p.cfg.Degree+1 }
+
+// Clone returns a deep copy of the predictor. The simulation snapshots the
+// predictor at every verified-clean challenge instant: when an attack is
+// detected, all samples since the previous challenge are suspect (CRA
+// cannot vouch for them), so the estimator rolls back to the snapshot
+// before free-running — otherwise corrupted samples absorbed between
+// attack onset and detection would poison the extrapolated trend.
+func (p *Predictor) Clone() *Predictor {
+	return &Predictor{
+		rls:         p.rls.Clone(),
+		cfg:         p.cfg,
+		shift:       p.shift, // immutable
+		n:           p.n,
+		ahead:       p.ahead,
+		wall:        p.wall,
+		sigma2:      p.sigma2,
+		sigmaN:      p.sigmaN,
+		gPos:        p.gPos,
+		gNeg:        p.gNeg,
+		resets:      p.resets,
+		freeRunning: p.freeRunning,
+	}
+}
+
+// Resets returns how many CUSUM-triggered refits have occurred.
+func (p *Predictor) Resets() int { return p.resets }
+
+// Observe trains on a trusted measurement (no attack in progress) and
+// returns the one-step-ahead prediction that was made for it.
+func (p *Predictor) Observe(y float64) (pred float64, err error) {
+	p.freeRunning = false
+	// Advance the basis origin by every elapsed step, including any
+	// free-run steps since the last Observe — otherwise data recorded
+	// before an attack would be mis-dated relative to post-attack data
+	// and the refit slope would absorb the gap as a spurious jump.
+	for i := 0; i <= p.ahead; i++ {
+		if err := p.rls.Translate(p.shift); err != nil {
+			return 0, err
+		}
+	}
+	p.ahead = 0
+	p.wall++
+	pred, e, err := p.rls.Update(p.nowBasis(), y)
+	if err != nil {
+		return 0, err
+	}
+	p.n++
+	if p.cfg.ChangeDetect && p.regimeChanged(e) {
+		// Refit the trend from post-change data. The signal itself is
+		// continuous across a regime change — only its derivative jumps —
+		// so the level (the current fitted value, which after the reset's
+		// Update below absorbs the newest sample too) is preserved and
+		// only the higher-order weights and the covariance reset.
+		w := p.rls.Weights()
+		for i := 1; i < len(w); i++ {
+			w[i] = 0
+		}
+		if err := p.rls.SetState(w, p.cfg.Delta); err != nil {
+			return 0, err
+		}
+		p.n, p.sigma2, p.sigmaN, p.gPos, p.gNeg = 0, 0, 0, 0, 0
+		p.resets++
+		if _, _, err := p.rls.Update(p.nowBasis(), y); err != nil {
+			return 0, err
+		}
+		p.n = 1
+	}
+	return pred, nil
+}
+
+// regimeChanged runs the two-sided CUSUM test on the one-step residual e.
+// The first residuals after (re)initialization calibrate the noise scale
+// and are not tested.
+func (p *Predictor) regimeChanged(e float64) bool {
+	const warmup = 8
+	if p.n <= p.cfg.Degree+2 {
+		return false // transient of a fresh fit
+	}
+	if p.sigmaN < warmup {
+		// Running mean of e^2 during calibration; sigma2 holds the mean.
+		p.sigma2 = (p.sigma2*float64(p.sigmaN) + e*e) / float64(p.sigmaN+1)
+		p.sigmaN++
+		return false
+	}
+	sigma := math.Sqrt(p.sigma2)
+	if sigma <= 0 {
+		// Noiseless stream: any nonzero residual is a change.
+		return e != 0
+	}
+	z := e / sigma
+	p.gPos = math.Max(0, p.gPos+z-p.cfg.ChangeDrift)
+	p.gNeg = math.Max(0, p.gNeg-z-p.cfg.ChangeDrift)
+	if p.gPos > p.cfg.ChangeThreshold || p.gNeg > p.cfg.ChangeThreshold {
+		return true
+	}
+	// Slow EWMA keeps the scale current without chasing the very
+	// residuals the test inspects.
+	p.sigma2 += 0.05 * (e*e - p.sigma2)
+	return false
+}
+
+// Predict produces the next estimated measurement while the sensor is under
+// attack (Algorithm 2 line 11) by evaluating the frozen fit one more step
+// ahead. Successive calls free-run forward in time.
+func (p *Predictor) Predict() float64 {
+	p.freeRunning = true
+	p.ahead++
+	p.wall++
+	return p.rls.Predict(p.horizonBasis(p.ahead))
+}
+
+// SkipStep advances the predictor's internal clock one step without an
+// observation or a prediction. The simulation calls it at challenge
+// instants — the radar produced no measurement, but wall-clock time still
+// passed, and without the skip every later prediction would lag truth by
+// one step per elapsed challenge.
+func (p *Predictor) SkipStep() { p.ahead++; p.wall++ }
+
+// Wall returns the wall-clock step of the last Observe, SkipStep, or
+// Predict call (-1 before any). The simulation uses it to catch a
+// restored snapshot up to the current step after a rollback.
+func (p *Predictor) Wall() int { return p.wall }
+
+// FreeRunning reports whether the last call was a Predict.
+func (p *Predictor) FreeRunning() bool { return p.freeRunning }
+
+// Weights exposes the underlying RLS weights (diagnostics).
+func (p *Predictor) Weights() []float64 { return p.rls.Weights() }
+
+// Slope returns the current fitted trend in measurement units per step
+// (0 for degree-0 fits).
+func (p *Predictor) Slope() float64 {
+	if p.cfg.Degree < 1 {
+		return 0
+	}
+	return p.rls.Weights()[1] / p.cfg.TimeScale
+}
+
+// PairPredictor bundles two Predictors for the radar's (distance,
+// relative velocity) measurement vector.
+type PairPredictor struct {
+	Distance *Predictor
+	Velocity *Predictor
+}
+
+// NewPairPredictor builds predictors for both radar channels with the same
+// configuration.
+func NewPairPredictor(cfg PredictorConfig) (*PairPredictor, error) {
+	d, err := NewPredictor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	v, err := NewPredictor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &PairPredictor{Distance: d, Velocity: v}, nil
+}
+
+// Observe trains both channels on a trusted (d, v) measurement.
+func (pp *PairPredictor) Observe(d, v float64) error {
+	if _, err := pp.Distance.Observe(d); err != nil {
+		return err
+	}
+	_, err := pp.Velocity.Observe(v)
+	return err
+}
+
+// Predict free-runs both channels one step. The distance channel is
+// clamped at zero — a radar cannot report a negative range.
+func (pp *PairPredictor) Predict() (d, v float64) {
+	d = pp.Distance.Predict()
+	if d < 0 {
+		d = 0
+	}
+	return d, pp.Velocity.Predict()
+}
+
+// Clone deep-copies both channels (see Predictor.Clone).
+func (pp *PairPredictor) Clone() *PairPredictor {
+	return &PairPredictor{Distance: pp.Distance.Clone(), Velocity: pp.Velocity.Clone()}
+}

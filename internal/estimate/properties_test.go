@@ -1,0 +1,165 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"safesense/internal/mat"
+	"safesense/internal/noise"
+)
+
+// TestTranslatePredictionInvariance checks the algebraic contract of
+// RLS.Translate: re-expressing the filter in a shifted basis must not
+// change any prediction — w_new^T h_new(tau) == w_old^T h_old(tau + s).
+func TestTranslatePredictionInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		src := noise.NewSource(seed)
+		p, err := NewPredictor(PredictorConfig{Degree: 2, Lambda: 0.95, Delta: 1, TimeScale: 8})
+		if err != nil {
+			return false
+		}
+		// Train on arbitrary data.
+		for k := 0; k < 30; k++ {
+			if _, err := p.Observe(src.Gaussian(0, 3)); err != nil {
+				return false
+			}
+		}
+		// Prediction j steps ahead, evaluated two ways: directly, and
+		// after translating the underlying filter one extra step.
+		before := p.rls.Predict(p.horizonBasis(5))
+		if err := p.rls.Translate(p.shift); err != nil {
+			return false
+		}
+		after := p.rls.Predict(p.horizonBasis(4))
+		return math.Abs(before-after) <= 1e-9*(1+math.Abs(before))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShiftMatrixInverseProperty: shifting forward then backward is the
+// identity.
+func TestShiftMatrixInverseProperty(t *testing.T) {
+	for _, deg := range []int{0, 1, 2, 3} {
+		fwd := shiftMatrix(deg, 0.125)
+		bwd := shiftMatrix(deg, -0.125)
+		if !fwd.Mul(bwd).EqualApprox(mat.Identity(deg+1), 1e-12) {
+			t.Fatalf("degree %d: shift not invertible", deg)
+		}
+	}
+}
+
+// TestRLSExponentialWeightingProperty: with lambda < 1, a later sample
+// moves the estimate more than the same sample seen earlier (recency
+// weighting).
+func TestRLSExponentialWeightingProperty(t *testing.T) {
+	run := func(spikeAt int) float64 {
+		r, _ := NewRLS(1, 0.9, 100)
+		for k := 0; k < 50; k++ {
+			y := 0.0
+			if k == spikeAt {
+				y = 10
+			}
+			r.Update([]float64{1}, y)
+		}
+		return r.Weights()[0]
+	}
+	early, late := run(5), run(45)
+	if late <= early {
+		t.Fatalf("late spike influence %v should exceed early %v", late, early)
+	}
+}
+
+// TestPredictorScaleInvariance: scaling the observations scales the
+// predictions linearly (the filter is linear in y).
+func TestPredictorScaleInvariance(t *testing.T) {
+	f := func(seed int64, scaleRaw float64) bool {
+		if math.IsNaN(scaleRaw) || math.IsInf(scaleRaw, 0) {
+			return true
+		}
+		scale := 1 + math.Mod(math.Abs(scaleRaw), 50)
+		mk := func(c float64) float64 {
+			src := noise.NewSource(seed)
+			p, _ := NewPredictor(DefaultPredictorConfig())
+			for k := 0; k < 60; k++ {
+				p.Observe(c * (10 + 0.5*float64(k) + src.Gaussian(0, 0.2)))
+			}
+			return p.Predict()
+		}
+		a, b := mk(1), mk(scale)
+		return math.Abs(b-scale*a) <= 1e-6*(1+math.Abs(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryEstimatorKinematicConsistency: with a perfectly observed
+// constant-speed pair, the free-run distance decreases by exactly the
+// relative speed each step.
+func TestRecoveryEstimatorKinematicConsistency(t *testing.T) {
+	rec, err := NewRecoveryEstimator(DefaultPredictorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vF := 20.0
+	vL := 19.8
+	d := 80.0
+	for k := 0; k < 100; k++ {
+		if err := rec.Observe(d, vL-vF, vF); err != nil {
+			t.Fatal(err)
+		}
+		d += vL - vF
+	}
+	prevD, _ := rec.Predict(vF)
+	for j := 0; j < 30; j++ {
+		dj, dvj := rec.Predict(vF)
+		if math.Abs(dvj-(vL-vF)) > 0.02 {
+			t.Fatalf("free-run dv = %v, want %v", dvj, vL-vF)
+		}
+		if math.Abs((dj-prevD)-dvj) > 1e-9 {
+			t.Fatalf("distance increment %v != dv %v", dj-prevD, dvj)
+		}
+		prevD = dj
+	}
+}
+
+// TestCUSUMNoResetOnStationaryNoiseProperty: pure noise around a trend
+// must not trigger regime resets.
+func TestCUSUMNoResetOnStationaryNoiseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		src := noise.NewSource(seed)
+		p, _ := NewPredictor(DefaultPredictorConfig())
+		for k := 0; k < 300; k++ {
+			p.Observe(5 - 0.1*float64(k) + src.Gaussian(0, 0.3))
+		}
+		return p.Resets() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCUSUMResetsOnSlopeJump: a sharp derivative change triggers exactly
+// the reset behaviour the Fig 3 scenario needs.
+func TestCUSUMResetsOnSlopeJump(t *testing.T) {
+	src := noise.NewSource(7)
+	p, _ := NewPredictor(DefaultPredictorConfig())
+	for k := 0; k < 150; k++ {
+		p.Observe(100 - 0.5*float64(k) + src.Gaussian(0, 0.1))
+	}
+	if p.Resets() != 0 {
+		t.Fatalf("premature resets: %d", p.Resets())
+	}
+	for k := 150; k < 200; k++ {
+		p.Observe(25 + 0.5*float64(k-150) + src.Gaussian(0, 0.1))
+	}
+	if p.Resets() == 0 {
+		t.Fatal("slope jump not detected")
+	}
+	if s := p.Slope(); math.Abs(s-0.5) > 0.05 {
+		t.Fatalf("post-reset slope = %v, want 0.5", s)
+	}
+}

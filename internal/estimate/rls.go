@@ -1,0 +1,140 @@
+// Package estimate implements the paper's Algorithm 1 — recursive least
+// squares (RLS) estimation of sensor measurements — and the free-running
+// measurement predictor built on it that supplies the controller with safe
+// distance and relative-velocity values for the duration of an attack.
+package estimate
+
+import (
+	"errors"
+	"fmt"
+
+	"safesense/internal/mat"
+)
+
+// RLS is the exponentially-weighted recursive least squares filter of
+// Algorithm 1 (Haykin). State: weight vector w and inverse-correlation
+// matrix P, updated per sample in O(n^2).
+type RLS struct {
+	n      int
+	lambda float64
+	w      []float64
+	p      *mat.Dense
+
+	// LastGamma exposes the conversion factor gamma of the most recent
+	// update, useful for monitoring conditioning.
+	LastGamma float64
+}
+
+// NewRLS builds an order-n RLS filter with forgetting factor lambda in
+// (0, 1] and initialization P_0 = delta^-1... following the paper's
+// notation P_0 = delta*I with delta positive (the paper uses delta = 1).
+func NewRLS(n int, lambda, delta float64) (*RLS, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("estimate: order must be >= 1, got %d", n)
+	}
+	if lambda <= 0 || lambda > 1 {
+		return nil, fmt.Errorf("estimate: forgetting factor must be in (0, 1], got %v", lambda)
+	}
+	if delta <= 0 {
+		return nil, fmt.Errorf("estimate: delta must be positive, got %v", delta)
+	}
+	return &RLS{
+		n:      n,
+		lambda: lambda,
+		w:      make([]float64, n),
+		p:      mat.Identity(n).Scale(delta),
+	}, nil
+}
+
+// Order returns the filter order n.
+func (r *RLS) Order() int { return r.n }
+
+// Weights returns a copy of the current weight vector.
+func (r *RLS) Weights() []float64 {
+	out := make([]float64, r.n)
+	copy(out, r.w)
+	return out
+}
+
+// P returns a copy of the current inverse-correlation matrix.
+func (r *RLS) P() *mat.Dense { return r.p.Clone() }
+
+// Predict returns the filter output w^T h for regressor h without updating
+// the state.
+func (r *RLS) Predict(h []float64) float64 {
+	return mat.Dot(r.w, h)
+}
+
+// Update performs one Algorithm 1 iteration with regressor h and desired
+// output y. It returns the a-priori prediction w_{k-1}^T h_k and the error
+// e_k = y_k - w_{k-1}^T h_k. Steps (paper lines 5–11):
+//
+//	g     = P_{k-1} h_k
+//	gamma = lambda + h_k^T g
+//	kGain = g / gamma
+//	e     = y_k - w_{k-1}^T h_k
+//	w_k   = w_{k-1} + kGain e
+//	P_k   = (P_{k-1} - kGain g^T) / lambda
+func (r *RLS) Update(h []float64, y float64) (pred, e float64, err error) {
+	if len(h) != r.n {
+		return 0, 0, fmt.Errorf("estimate: regressor length %d, want %d", len(h), r.n)
+	}
+	g := r.p.MulVec(h)
+	gamma := r.lambda + mat.Dot(h, g)
+	if gamma <= 0 {
+		return 0, 0, errors.New("estimate: non-positive conversion factor (P lost definiteness)")
+	}
+	r.LastGamma = gamma
+	kGain := mat.ScaleVec(1/gamma, g)
+	pred = mat.Dot(r.w, h)
+	e = y - pred
+	mat.Axpy(e, kGain, r.w)
+	// P <- (P - kGain g^T) / lambda, symmetrized to fight round-off drift.
+	kg := mat.Outer(kGain, g)
+	p := r.p.Sub(kg).Scale(1 / r.lambda)
+	r.p = p.Add(p.T()).Scale(0.5)
+	return pred, e, nil
+}
+
+// Clone returns a deep copy of the filter state.
+func (r *RLS) Clone() *RLS {
+	w := make([]float64, r.n)
+	copy(w, r.w)
+	return &RLS{n: r.n, lambda: r.lambda, w: w, p: r.p.Clone(), LastGamma: r.LastGamma}
+}
+
+// Translate re-expresses the filter state in a new regressor basis:
+// w <- M w and P <- M P M^T, where M is the (invertible) basis-change
+// matrix satisfying h_old = M^T h_new. Predictions are invariant:
+// w_new^T h_new = w_old^T h_old. The trend predictor uses this to shift a
+// polynomial time basis one step each sample, which keeps the regressors
+// perfectly conditioned regardless of how long the filter runs.
+func (r *RLS) Translate(m *mat.Dense) error {
+	if rows, cols := m.Dims(); rows != r.n || cols != r.n {
+		return fmt.Errorf("estimate: translation matrix must be %dx%d", r.n, r.n)
+	}
+	r.w = m.MulVec(r.w)
+	r.p = m.Mul(r.p).Mul(m.T())
+	return nil
+}
+
+// Reset restores the filter to its initial state with P = delta*I.
+func (r *RLS) Reset(delta float64) error {
+	return r.SetState(make([]float64, r.n), delta)
+}
+
+// SetState overwrites the weights and re-initializes P = delta*I. The
+// change-detection reset uses it to refit a trend while preserving the
+// continuous part of the signal (the level).
+func (r *RLS) SetState(w []float64, delta float64) error {
+	if delta <= 0 {
+		return fmt.Errorf("estimate: delta must be positive, got %v", delta)
+	}
+	if len(w) != r.n {
+		return fmt.Errorf("estimate: weight length %d, want %d", len(w), r.n)
+	}
+	r.w = append([]float64{}, w...)
+	r.p = mat.Identity(r.n).Scale(delta)
+	r.LastGamma = 0
+	return nil
+}

@@ -1,0 +1,205 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"safesense/internal/noise"
+)
+
+func TestNewRLSValidation(t *testing.T) {
+	if _, err := NewRLS(0, 0.9, 1); err == nil {
+		t.Fatal("order 0 should fail")
+	}
+	if _, err := NewRLS(3, 0, 1); err == nil {
+		t.Fatal("lambda 0 should fail")
+	}
+	if _, err := NewRLS(3, 1.1, 1); err == nil {
+		t.Fatal("lambda > 1 should fail")
+	}
+	if _, err := NewRLS(3, 0.9, 0); err == nil {
+		t.Fatal("delta 0 should fail")
+	}
+	if _, err := NewRLS(3, 1, 1); err != nil {
+		t.Fatalf("lambda = 1 must be allowed: %v", err)
+	}
+}
+
+func TestRLSConvergesToTrueWeights(t *testing.T) {
+	// y = w* . h with a static linear model: RLS must identify w*.
+	// Large delta keeps the P0 regularization bias (which decays like
+	// 1/(delta*N)) below the assertion tolerance.
+	want := []float64{2, -1, 0.5}
+	r, err := NewRLS(3, 1.0, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := noise.NewSource(1)
+	for k := 0; k < 400; k++ {
+		h := src.GaussianVec(3, 0, 1)
+		y := 0.0
+		for i := range h {
+			y += want[i] * h[i]
+		}
+		if _, _, err := r.Update(h, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := r.Weights()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-6 {
+			t.Fatalf("weights = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRLSConvergesInNoise(t *testing.T) {
+	want := []float64{1.5, -0.7}
+	r, _ := NewRLS(2, 0.995, 10)
+	src := noise.NewSource(2)
+	for k := 0; k < 3000; k++ {
+		h := src.GaussianVec(2, 0, 1)
+		y := want[0]*h[0] + want[1]*h[1] + src.Gaussian(0, 0.1)
+		r.Update(h, y)
+	}
+	got := r.Weights()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 0.05 {
+			t.Fatalf("weights = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRLSTracksDriftingWeights(t *testing.T) {
+	// With forgetting, RLS follows a slowly changing parameter; with
+	// lambda = 1 it averages and lags. Compare tracking error.
+	src := noise.NewSource(3)
+	run := func(lambda float64) float64 {
+		r, _ := NewRLS(1, lambda, 10)
+		src := noise.NewSource(3)
+		errSum := 0.0
+		wTrue := 1.0
+		for k := 0; k < 2000; k++ {
+			wTrue += 0.002 // drift
+			h := []float64{src.Gaussian(0, 1)}
+			y := wTrue * h[0]
+			r.Update(h, y)
+			errSum += math.Abs(r.Weights()[0] - wTrue)
+		}
+		return errSum
+	}
+	_ = src
+	forgetting := run(0.95)
+	growing := run(1.0)
+	if forgetting >= growing {
+		t.Fatalf("forgetting factor should track drift better: %v vs %v", forgetting, growing)
+	}
+}
+
+func TestRLSUpdateReturnsAPrioriError(t *testing.T) {
+	r, _ := NewRLS(2, 0.99, 1)
+	h := []float64{1, 2}
+	pred, e, err := r.Update(h, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial weights are zero, so prediction 0 and error 5.
+	if pred != 0 || e != 5 {
+		t.Fatalf("pred=%v e=%v, want 0, 5", pred, e)
+	}
+}
+
+func TestRLSRejectsWrongRegressorLength(t *testing.T) {
+	r, _ := NewRLS(3, 0.99, 1)
+	if _, _, err := r.Update([]float64{1, 2}, 0); err == nil {
+		t.Fatal("short regressor should fail")
+	}
+}
+
+func TestRLSPSymmetricPositive(t *testing.T) {
+	// P must remain symmetric and have positive diagonal through updates.
+	r, _ := NewRLS(3, 0.97, 1)
+	src := noise.NewSource(5)
+	for k := 0; k < 500; k++ {
+		h := src.GaussianVec(3, 0, 1)
+		r.Update(h, src.Gaussian(0, 1))
+		p := r.P()
+		if !p.IsSymmetric(1e-8 * (1 + p.MaxAbs())) {
+			t.Fatalf("P lost symmetry at step %d", k)
+		}
+		for i := 0; i < 3; i++ {
+			if p.At(i, i) <= 0 {
+				t.Fatalf("P diagonal %d non-positive at step %d", i, k)
+			}
+		}
+	}
+}
+
+func TestRLSMatchesBatchLeastSquaresProperty(t *testing.T) {
+	// With lambda = 1 and large delta, RLS after N samples approaches the
+	// batch least-squares solution on the same data.
+	f := func(seed int64) bool {
+		src := noise.NewSource(seed)
+		n := 3
+		r, _ := NewRLS(n, 1.0, 1e6)
+		want := []float64{src.Gaussian(0, 2), src.Gaussian(0, 2), src.Gaussian(0, 2)}
+		for k := 0; k < 120; k++ {
+			h := src.GaussianVec(n, 0, 1)
+			y := 0.0
+			for i := range h {
+				y += want[i] * h[i]
+			}
+			r.Update(h, y)
+		}
+		got := r.Weights()
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-3*(1+math.Abs(want[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRLSReset(t *testing.T) {
+	r, _ := NewRLS(2, 0.99, 1)
+	src := noise.NewSource(6)
+	for k := 0; k < 50; k++ {
+		r.Update(src.GaussianVec(2, 0, 1), src.Gaussian(0, 1))
+	}
+	if err := r.Reset(2); err != nil {
+		t.Fatal(err)
+	}
+	w := r.Weights()
+	if w[0] != 0 || w[1] != 0 {
+		t.Fatalf("weights after reset = %v", w)
+	}
+	p := r.P()
+	if p.At(0, 0) != 2 || p.At(0, 1) != 0 {
+		t.Fatalf("P after reset = %v", p)
+	}
+	if err := r.Reset(0); err == nil {
+		t.Fatal("Reset(0) should fail")
+	}
+}
+
+func TestRLSComplexityIsQuadratic(t *testing.T) {
+	// Not a wall-clock test: verify Update touches only O(n^2) memory by
+	// construction — here we simply sanity-check behavior at a larger
+	// order to guard against accidental O(n^3) (matrix-matrix) paths
+	// blowing up numerically.
+	r, _ := NewRLS(32, 0.99, 1)
+	src := noise.NewSource(7)
+	for k := 0; k < 200; k++ {
+		if _, _, err := r.Update(src.GaussianVec(32, 0, 1), src.Gaussian(0, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.LastGamma <= 0 {
+		t.Fatal("gamma must stay positive")
+	}
+}

@@ -1,0 +1,200 @@
+package mat
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a factorization or solve encounters a matrix
+// that is singular to working precision.
+var ErrSingular = errors.New("mat: matrix is singular to working precision")
+
+// LU holds an LU factorization with partial pivoting: P*A = L*U.
+type LU struct {
+	lu   *Dense
+	piv  []int
+	sign int // +1 or -1, parity of the permutation
+}
+
+// NewLU factorizes the square matrix a. It returns ErrSingular if a pivot
+// vanishes.
+func NewLU(a *Dense) (*LU, error) {
+	n, c := a.Dims()
+	if n != c {
+		return nil, errors.New("mat: LU of non-square matrix")
+	}
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	for k := 0; k < n; k++ {
+		// Partial pivot: largest magnitude in column k at/below row k.
+		p, maxv := k, math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > maxv {
+				p, maxv = i, v
+			}
+		}
+		if maxv == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				lu.data[k*n+j], lu.data[p*n+j] = lu.data[p*n+j], lu.data[k*n+j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		pivVal := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) / pivVal
+			lu.Set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu.Set(i, j, lu.At(i, j)-m*lu.At(k, j))
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+// SolveVec solves A*x = b for x.
+func (f *LU) SolveVec(b []float64) ([]float64, error) {
+	n := f.lu.rows
+	if len(b) != n {
+		return nil, errors.New("mat: LU solve dimension mismatch")
+	}
+	x := make([]float64, n)
+	// Apply permutation.
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < n; i++ {
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= f.lu.At(i, j) * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.lu.At(i, j) * x[j]
+		}
+		d := f.lu.At(i, i)
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// Solve solves A*X = B column by column.
+func (f *LU) Solve(b *Dense) (*Dense, error) {
+	n := f.lu.rows
+	if b.rows != n {
+		return nil, errors.New("mat: LU solve dimension mismatch")
+	}
+	out := NewDense(n, b.cols)
+	for j := 0; j < b.cols; j++ {
+		col, err := f.SolveVec(b.Col(j))
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range col {
+			out.Set(i, j, v)
+		}
+	}
+	return out, nil
+}
+
+// Det returns the determinant of the factorized matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	n := f.lu.rows
+	for i := 0; i < n; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Solve solves the linear system a*x = b.
+func Solve(a *Dense, b []float64) ([]float64, error) {
+	f, err := NewLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveVec(b)
+}
+
+// Inverse returns the inverse of a, or ErrSingular.
+func Inverse(a *Dense) (*Dense, error) {
+	f, err := NewLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(Identity(a.rows))
+}
+
+// Det returns the determinant of a. A singular matrix yields 0.
+func Det(a *Dense) float64 {
+	f, err := NewLU(a)
+	if err != nil {
+		return 0
+	}
+	return f.Det()
+}
+
+// Rank estimates the rank of a using column-pivoted Gaussian elimination
+// with the relative tolerance tol (e.g. 1e-10). It is used by the
+// observability and controllability tests of internal/lti.
+func Rank(a *Dense, tol float64) int {
+	m := a.Clone()
+	r, c := m.Dims()
+	scale := m.MaxAbs()
+	if scale == 0 {
+		return 0
+	}
+	thresh := tol * scale
+	rank := 0
+	row := 0
+	for col := 0; col < c && row < r; col++ {
+		// Find pivot in this column.
+		p, maxv := -1, thresh
+		for i := row; i < r; i++ {
+			if v := math.Abs(m.At(i, col)); v > maxv {
+				p, maxv = i, v
+			}
+		}
+		if p < 0 {
+			continue
+		}
+		if p != row {
+			for j := 0; j < c; j++ {
+				tmp := m.At(row, j)
+				m.Set(row, j, m.At(p, j))
+				m.Set(p, j, tmp)
+			}
+		}
+		pv := m.At(row, col)
+		for i := row + 1; i < r; i++ {
+			f := m.At(i, col) / pv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < c; j++ {
+				m.Set(i, j, m.At(i, j)-f*m.At(row, j))
+			}
+		}
+		rank++
+		row++
+	}
+	return rank
+}

@@ -1,0 +1,98 @@
+package mat
+
+import (
+	"errors"
+	"math"
+)
+
+// QR holds a Householder QR factorization of an m-by-n matrix with m >= n:
+// A = Q*R with Q orthogonal (m-by-m, applied implicitly) and R upper
+// triangular. It backs the batch least-squares solver that the estimator
+// ablation compares against recursive least squares.
+type QR struct {
+	qr   *Dense    // packed Householder vectors below the diagonal, R on/above
+	rdia []float64 // diagonal of R
+}
+
+// NewQR factorizes a (m >= n required).
+func NewQR(a *Dense) (*QR, error) {
+	m, n := a.Dims()
+	if m < n {
+		return nil, errors.New("mat: QR requires rows >= cols")
+	}
+	qr := a.Clone()
+	rdia := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Norm of column k below row k.
+		nrm := 0.0
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, qr.At(i, k))
+		}
+		if nrm == 0 {
+			return nil, ErrSingular
+		}
+		if qr.At(k, k) < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/nrm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+		// Apply transformation to remaining columns.
+		for j := k + 1; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+		rdia[k] = -nrm
+	}
+	return &QR{qr: qr, rdia: rdia}, nil
+}
+
+// SolveVec returns the least-squares solution x minimizing ||A*x - b||_2.
+func (f *QR) SolveVec(b []float64) ([]float64, error) {
+	m, n := f.qr.Dims()
+	if len(b) != m {
+		return nil, errors.New("mat: QR solve dimension mismatch")
+	}
+	y := make([]float64, m)
+	copy(y, b)
+	// Apply Householder reflections: y = Q^T * b.
+	for k := 0; k < n; k++ {
+		s := 0.0
+		for i := k; i < m; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s = -s / f.qr.At(k, k)
+		for i := k; i < m; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	// Back substitution with R.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		if f.rdia[i] == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / f.rdia[i]
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ||A*x - b||_2 for x via QR.
+func LeastSquares(a *Dense, b []float64) ([]float64, error) {
+	f, err := NewQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveVec(b)
+}

@@ -1,0 +1,187 @@
+package poly
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sortByArg(rs []complex128) {
+	sort.Slice(rs, func(i, j int) bool {
+		if real(rs[i]) != real(rs[j]) {
+			return real(rs[i]) < real(rs[j])
+		}
+		return imag(rs[i]) < imag(rs[j])
+	})
+}
+
+func matchRoots(t *testing.T, got, want []complex128, tol float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d roots, want %d", len(got), len(want))
+	}
+	used := make([]bool, len(want))
+	for _, g := range got {
+		best, bestd := -1, math.Inf(1)
+		for i, w := range want {
+			if used[i] {
+				continue
+			}
+			if d := cmplx.Abs(g - w); d < bestd {
+				best, bestd = i, d
+			}
+		}
+		if best < 0 || bestd > tol {
+			t.Fatalf("root %v unmatched (closest distance %v, want %v)", g, bestd, want)
+		}
+		used[best] = true
+	}
+}
+
+func TestEvalHorner(t *testing.T) {
+	// p(z) = 1 + 2z + 3z^2 at z = 2 -> 1 + 4 + 12 = 17.
+	p := New(1, 2, 3)
+	if got := p.Eval(2); got != 17 {
+		t.Fatalf("Eval = %v", got)
+	}
+	if got := p.Eval(0); got != 1 {
+		t.Fatalf("Eval(0) = %v", got)
+	}
+}
+
+func TestDerivative(t *testing.T) {
+	p := New(5, 3, 0, 2) // 5 + 3z + 2z^3
+	d := p.Derivative()  // 3 + 6z^2
+	if d.C[0] != 3 || d.C[1] != 0 || d.C[2] != 6 {
+		t.Fatalf("Derivative = %v", d.C)
+	}
+	c := New(7)
+	if dc := c.Derivative(); dc.Eval(100) != 0 {
+		t.Fatal("derivative of constant must be 0")
+	}
+}
+
+func TestFromRootsEvalZero(t *testing.T) {
+	roots := []complex128{2, -1, 3i}
+	p := FromRoots(roots...)
+	for _, r := range roots {
+		if cmplx.Abs(p.Eval(r)) > 1e-10 {
+			t.Fatalf("p(%v) = %v, want 0", r, p.Eval(r))
+		}
+	}
+	if p.Degree() != 3 {
+		t.Fatalf("degree = %d", p.Degree())
+	}
+}
+
+func TestNewTrimsLeadingZeros(t *testing.T) {
+	p := New(1, 2, 0, 0)
+	if p.Degree() != 1 {
+		t.Fatalf("degree = %d, want 1", p.Degree())
+	}
+}
+
+func TestRootsQuadratic(t *testing.T) {
+	// z^2 - 3z + 2 = (z-1)(z-2).
+	p := New(2, -3, 1)
+	rs, err := Roots(p, RootsOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchRoots(t, rs, []complex128{1, 2}, 1e-8)
+}
+
+func TestRootsComplexConjugatePair(t *testing.T) {
+	// z^2 + 1 = (z-i)(z+i).
+	rs, err := Roots(New(1, 0, 1), RootsOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchRoots(t, rs, []complex128{1i, -1i}, 1e-8)
+}
+
+func TestRootsUnitCircle(t *testing.T) {
+	// z^4 - 1: the fourth roots of unity — the structure root-MUSIC sees.
+	rs, err := Roots(New(-1, 0, 0, 0, 1), RootsOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchRoots(t, rs, []complex128{1, -1, 1i, -1i}, 1e-8)
+}
+
+func TestRootsRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		want := make([]complex128, n)
+		for i := range want {
+			// Well-separated random roots in an annulus.
+			r := 0.3 + 2*rng.Float64()
+			th := 2 * math.Pi * rng.Float64()
+			want[i] = cmplx.Rect(r, th)
+		}
+		// Reject nearly-coincident draws; DK converges slowly there.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if cmplx.Abs(want[i]-want[j]) < 0.15 {
+					return true
+				}
+			}
+		}
+		p := FromRoots(want...)
+		got, err := Roots(p, RootsOptions{})
+		if err != nil {
+			return false
+		}
+		sortByArg(got)
+		sortByArg(want)
+		for i := range want {
+			if cmplx.Abs(got[i]-want[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRootsDegenerateInputs(t *testing.T) {
+	if _, err := Roots(New(5), RootsOptions{}); err == nil {
+		t.Fatal("constant polynomial should fail")
+	}
+	if _, err := Roots(Poly{}, RootsOptions{}); err == nil {
+		t.Fatal("zero polynomial should fail")
+	}
+}
+
+func TestMonic(t *testing.T) {
+	p := New(2, 4, 2)
+	m, err := p.Monic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.C[2] != 1 || m.C[0] != 1 || m.C[1] != 2 {
+		t.Fatalf("Monic = %v", m.C)
+	}
+}
+
+func TestRootsHighDegree(t *testing.T) {
+	// Degree-12 polynomial with roots on two circles, similar in size to
+	// the root-MUSIC polynomial for a covariance of order 7.
+	var want []complex128
+	for k := 0; k < 6; k++ {
+		th := 2 * math.Pi * float64(k) / 6
+		want = append(want, cmplx.Rect(0.8, th+0.2), cmplx.Rect(1.25, th+0.5))
+	}
+	p := FromRoots(want...)
+	got, err := Roots(p, RootsOptions{MaxIter: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchRoots(t, got, want, 1e-5)
+}

@@ -1,0 +1,207 @@
+package prbs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLFSRPeriod(t *testing.T) {
+	// Maximal-length property: every register size must have period 2^n-1.
+	for n := 3; n <= 12; n++ {
+		l, err := NewLFSR(n, 1)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		start := l.State()
+		period := 0
+		for {
+			l.NextBit()
+			period++
+			if l.State() == start {
+				break
+			}
+			if period > l.Period()+1 {
+				t.Fatalf("n=%d: period exceeds 2^n-1", n)
+			}
+		}
+		if period != l.Period() {
+			t.Fatalf("n=%d: period %d, want %d", n, period, l.Period())
+		}
+	}
+}
+
+func TestLFSRBalanceProperty(t *testing.T) {
+	// m-sequence balance: over one period, #ones = 2^(n-1), #zeros = 2^(n-1)-1.
+	for _, n := range []int{5, 8, 10} {
+		l, _ := NewLFSR(n, 7)
+		ones := 0
+		for i := 0; i < l.Period(); i++ {
+			ones += l.NextBit()
+		}
+		if want := 1 << uint(n-1); ones != want {
+			t.Fatalf("n=%d: %d ones per period, want %d", n, ones, want)
+		}
+	}
+}
+
+func TestLFSRRunProperty(t *testing.T) {
+	// m-sequence run property: half the runs have length 1, a quarter
+	// length 2, etc. Check at least that the longest run of ones is n and
+	// of zeros is n-1 for one period.
+	n := 9
+	l, _ := NewLFSR(n, 3)
+	bits := l.NextBits(l.Period())
+	maxRun := func(val int) int {
+		best, cur := 0, 0
+		for _, b := range bits {
+			if b == val {
+				cur++
+				if cur > best {
+					best = cur
+				}
+			} else {
+				cur = 0
+			}
+		}
+		return best
+	}
+	if got := maxRun(1); got != n {
+		t.Fatalf("longest 1-run = %d, want %d", got, n)
+	}
+	if got := maxRun(0); got != n-1 {
+		t.Fatalf("longest 0-run = %d, want %d", got, n-1)
+	}
+}
+
+func TestLFSRZeroSeedCoerced(t *testing.T) {
+	l, err := NewLFSR(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must not be stuck: state changes and bits vary within a period.
+	bits := l.NextBits(31)
+	sum := 0
+	for _, b := range bits {
+		sum += b
+	}
+	if sum == 0 || sum == 31 {
+		t.Fatalf("degenerate sequence from zero seed: sum=%d", sum)
+	}
+}
+
+func TestLFSRUnsupportedLength(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 17, -3} {
+		if _, err := NewLFSR(n, 1); err == nil {
+			t.Fatalf("NewLFSR(%d) should fail", n)
+		}
+	}
+}
+
+func TestLFSRDeterminism(t *testing.T) {
+	f := func(seed uint32) bool {
+		a, _ := NewLFSR(10, seed)
+		b, _ := NewLFSR(10, seed)
+		for i := 0; i < 100; i++ {
+			if a.NextBit() != b.NextBit() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixedSchedule(t *testing.T) {
+	s := NewFixedSchedule(50, 15, 175, 15) // duplicate 15 on purpose
+	if !s.Challenge(15) || !s.Challenge(50) || !s.Challenge(175) {
+		t.Fatal("missing challenge steps")
+	}
+	if s.Challenge(16) || s.Challenge(0) {
+		t.Fatal("spurious challenge steps")
+	}
+	steps := s.Steps()
+	if len(steps) != 3 || steps[0] != 15 || steps[2] != 175 {
+		t.Fatalf("Steps = %v", steps)
+	}
+	if got := s.NextAfter(16); got != 50 {
+		t.Fatalf("NextAfter(16) = %d", got)
+	}
+	if got := s.NextAfter(175); got != 175 {
+		t.Fatalf("NextAfter(175) = %d", got)
+	}
+	if got := s.NextAfter(176); got != -1 {
+		t.Fatalf("NextAfter(176) = %d", got)
+	}
+}
+
+func TestPaperFigureSchedule(t *testing.T) {
+	s := PaperFigureSchedule()
+	// The instants the paper names must be present.
+	for _, k := range []int{15, 50, 175, 182} {
+		if !s.Challenge(k) {
+			t.Fatalf("paper schedule missing k=%d", k)
+		}
+	}
+	// The attack onset (182) must be probed at onset for zero-latency
+	// detection as reported in Section 6.2.
+	if got := s.NextAfter(182); got != 182 {
+		t.Fatalf("NextAfter(182) = %d, want 182", got)
+	}
+}
+
+func TestLFSRScheduleRate(t *testing.T) {
+	horizon := 4000
+	s, err := NewLFSRSchedule(12, 99, 4, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected rate ~2^-4 = 0.0625; allow generous tolerance.
+	r := s.Rate()
+	if r < 0.03 || r > 0.11 {
+		t.Fatalf("challenge rate = %v, want ~0.0625", r)
+	}
+	// Steps and Challenge must agree.
+	for _, k := range s.Steps() {
+		if !s.Challenge(k) {
+			t.Fatalf("inconsistent schedule at %d", k)
+		}
+	}
+	if s.Challenge(-1) || s.Challenge(horizon) {
+		t.Fatal("out-of-horizon steps must not be challenges")
+	}
+}
+
+func TestLFSRScheduleValidation(t *testing.T) {
+	if _, err := NewLFSRSchedule(10, 1, 0, 100); err == nil {
+		t.Fatal("width 0 should fail")
+	}
+	if _, err := NewLFSRSchedule(10, 1, 2, -1); err == nil {
+		t.Fatal("negative horizon should fail")
+	}
+	if _, err := NewLFSRSchedule(2, 1, 2, 100); err == nil {
+		t.Fatal("unsupported register length should fail")
+	}
+}
+
+func TestLFSRScheduleDeterminism(t *testing.T) {
+	a, _ := NewLFSRSchedule(11, 5, 3, 500)
+	b, _ := NewLFSRSchedule(11, 5, 3, 500)
+	for k := 0; k < 500; k++ {
+		if a.Challenge(k) != b.Challenge(k) {
+			t.Fatalf("schedules diverge at %d", k)
+		}
+	}
+	c, _ := NewLFSRSchedule(11, 6, 3, 500)
+	same := true
+	for k := 0; k < 500; k++ {
+		if a.Challenge(k) != c.Challenge(k) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}

@@ -1,0 +1,151 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"safesense/internal/prbs"
+	"safesense/internal/sim"
+	"safesense/internal/stats"
+)
+
+// ChallengeRateRow is one row of ablation A4: how the CRA challenge rate
+// trades detection latency (and with it safety margin) against sensor
+// availability, evaluated in the full closed loop.
+type ChallengeRateRow struct {
+	// Rate is the realized fraction of steps that are challenges.
+	Rate float64
+	// MeanLatency averages detection latency over the seeds (-1 if any
+	// run missed the attack entirely).
+	MeanLatency float64
+	// WorstMinGap is the smallest defended gap seen across seeds.
+	WorstMinGap float64
+	// Collisions counts colliding runs.
+	Collisions int
+	// Blanked is the fraction of steps the radar spends not measuring.
+	Blanked float64
+}
+
+// ChallengeRateSweep runs the defended Figure 2b scenario under LFSR
+// schedules of decreasing challenge rate, over several seeds each.
+func ChallengeRateSweep(seeds []int64) ([]ChallengeRateRow, error) {
+	if len(seeds) == 0 {
+		seeds = []int64{1, 2, 3}
+	}
+	var rows []ChallengeRateRow
+	for _, w := range []int{1, 2, 3, 4, 5} {
+		var latencies []float64
+		worst := 1e18
+		collisions := 0
+		var rate float64
+		missed := false
+		for _, seed := range seeds {
+			scen := sim.Fig2bDelay()
+			scen.Seed = seed
+			sched, err := prbs.NewLFSRSchedule(14, uint32(seed)+uint32(w)<<8, w, scen.Steps)
+			if err != nil {
+				return nil, err
+			}
+			scen.Schedule = sched
+			rate = sched.Rate()
+			res, err := sim.Run(scen)
+			if err != nil {
+				return nil, err
+			}
+			if res.DetectedAt < 0 {
+				missed = true
+			} else {
+				latencies = append(latencies, float64(res.DetectedAt-scen.Attack.Window.Start))
+			}
+			if res.MinGap < worst {
+				worst = res.MinGap
+			}
+			if res.CollisionAt >= 0 {
+				collisions++
+			}
+		}
+		lat := -1.0
+		if !missed && len(latencies) > 0 {
+			lat = stats.Mean(latencies)
+		}
+		rows = append(rows, ChallengeRateRow{
+			Rate:        rate,
+			MeanLatency: lat,
+			WorstMinGap: worst,
+			Collisions:  collisions,
+			Blanked:     rate,
+		})
+	}
+	return rows, nil
+}
+
+// FormatChallengeRateSweep renders A4.
+func FormatChallengeRateSweep(rows []ChallengeRateRow) string {
+	var b strings.Builder
+	b.WriteString("A4: challenge-rate sweep — CRA availability/latency/safety tradeoff\n")
+	b.WriteString("    (defended Fig 2b runs under LFSR schedules, 3 seeds per rate)\n")
+	fmt.Fprintf(&b, "%12s %14s %14s %11s %10s\n", "rate", "mean-latency", "worst-min-gap", "collisions", "blanked")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%12.4f %14.1f %14.2f %11d %10.1f%%\n",
+			r.Rate, r.MeanLatency, r.WorstMinGap, r.Collisions, 100*r.Blanked)
+	}
+	return b.String()
+}
+
+// LimitationRow is one row of A5: the paper's acknowledged failure mode.
+type LimitationRow struct {
+	Attack     string
+	DetectedAt int
+	MinGap     float64
+	Collision  bool
+}
+
+// LimitationDemo reproduces the conclusion's concession: a fast adversary
+// that samples the channel faster than the defender and mutes itself at
+// challenge instants is never detected, and the defense never engages.
+func LimitationDemo() ([]LimitationRow, error) {
+	ordinary := sim.Fig2bDelay()
+	fast := sim.Fig2bDelay()
+	fast.Name = "fast-adversary-delay"
+	fast.Attack.Kind = sim.FastAdversaryAttack
+
+	var rows []LimitationRow
+	for _, scen := range []sim.Scenario{ordinary, fast} {
+		res, err := sim.Run(scen)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, LimitationRow{
+			Attack:     scen.Attack.Kind.String(),
+			DetectedAt: res.DetectedAt,
+			MinGap:     res.MinGap,
+			Collision:  res.CollisionAt >= 0,
+		})
+	}
+	return rows, nil
+}
+
+// FormatLimitationDemo renders A5.
+func FormatLimitationDemo(rows []LimitationRow) string {
+	var b strings.Builder
+	b.WriteString("A5: limitation demo — the conclusion's fast adversary defeats CRA\n")
+	b.WriteString("    (same +6 m spoof; the fast adversary mutes itself at challenges)\n")
+	fmt.Fprintf(&b, "%-18s %10s %14s %10s\n", "attack", "detected", "min gap (m)", "collision")
+	for _, r := range rows {
+		det := fmt.Sprintf("%d", r.DetectedAt)
+		if r.DetectedAt < 0 {
+			det = "never"
+		}
+		fmt.Fprintf(&b, "%-18s %10s %14.2f %10v\n", r.Attack, det, r.MinGap, r.Collision)
+	}
+	return b.String()
+}
+
+// SignalFigure reproduces a figure scenario through the signal-level
+// pipeline (sweep synthesis -> sweep-level attack -> beat extraction),
+// verifying the closed-form results hold under the high-fidelity substrate.
+func SignalFigure(id string, scen sim.Scenario) (*FigureResult, error) {
+	scen.SignalLevel = true
+	scen.Name += "-signal"
+	return Figure(id+"-signal", scen)
+}

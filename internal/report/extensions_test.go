@@ -1,0 +1,78 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"safesense/internal/sim"
+)
+
+func TestChallengeRateSweep(t *testing.T) {
+	rows, err := ChallengeRateSweep([]int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Rates decrease down the table (w = 1..5 halves the rate each step).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Rate >= rows[i-1].Rate {
+			t.Fatalf("rate not decreasing: %v", rows)
+		}
+	}
+	// The densest schedule detects fast.
+	if rows[0].MeanLatency < 0 || rows[0].MeanLatency > 10 {
+		t.Fatalf("dense schedule latency = %v", rows[0].MeanLatency)
+	}
+	out := FormatChallengeRateSweep(rows)
+	if !strings.Contains(out, "A4:") {
+		t.Fatalf("format: %s", out)
+	}
+}
+
+func TestLimitationDemo(t *testing.T) {
+	rows, err := LimitationDemo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	ordinary, fast := rows[0], rows[1]
+	if ordinary.Attack != "delay" || fast.Attack != "fast-adversary" {
+		t.Fatalf("attack order: %+v", rows)
+	}
+	// The ordinary spoofer is caught; the fast adversary never is.
+	if ordinary.DetectedAt != 182 {
+		t.Fatalf("ordinary spoofer detected at %d", ordinary.DetectedAt)
+	}
+	if fast.DetectedAt != -1 {
+		t.Fatalf("fast adversary detected at %d — limitation should hold", fast.DetectedAt)
+	}
+	// And the undetected attack erodes the safety margin.
+	if fast.MinGap >= ordinary.MinGap {
+		t.Fatalf("fast adversary min gap %v should be below defended %v",
+			fast.MinGap, ordinary.MinGap)
+	}
+	out := FormatLimitationDemo(rows)
+	if !strings.Contains(out, "never") {
+		t.Fatalf("format: %s", out)
+	}
+}
+
+func TestSignalFigure(t *testing.T) {
+	f, err := SignalFigure("fig2a", sim.Fig2aDoS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Defended.DetectedAt != 182 {
+		t.Fatalf("signal-level detection at %d", f.Defended.DetectedAt)
+	}
+	if f.Defended.CollisionAt >= 0 {
+		t.Fatal("signal-level defended run collided")
+	}
+	if !strings.Contains(f.ID, "signal") {
+		t.Fatalf("id: %s", f.ID)
+	}
+}

@@ -1,0 +1,291 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"safesense/internal/acc"
+	"safesense/internal/attack"
+	"safesense/internal/cra"
+	"safesense/internal/estimate"
+	"safesense/internal/noise"
+	"safesense/internal/radar"
+	"safesense/internal/stats"
+	"safesense/internal/trace"
+	"safesense/internal/vehicle"
+)
+
+// Trace series names used across the figure sets.
+const (
+	SeriesTrue      = "truth"
+	SeriesNoAttack  = "radar-without-attack"
+	SeriesMeasured  = "radar-with-attack"
+	SeriesEstimated = "estimated"
+	SeriesFollower  = "follower-speed"
+	SeriesLeader    = "leader-speed"
+)
+
+// Result carries everything a figure or table needs from one run.
+type Result struct {
+	Scenario Scenario
+
+	// Distance and Velocity hold the measurement-domain traces (m and
+	// m/s): truth, radar output, and — when defended — the RLS estimates
+	// during the attack.
+	Distance *trace.Set
+	Velocity *trace.Set
+	// Speeds holds the leader and follower speed traces.
+	Speeds *trace.Set
+
+	// Events is the per-step CRA detector log (empty when undefended).
+	Events []cra.Event
+	// DetectedAt is the step the attack was flagged, -1 if never.
+	DetectedAt int
+	// Accuracy scores the detector at challenge instants.
+	Accuracy cra.Accuracy
+
+	// MinGap is the smallest leader-follower gap over the run.
+	MinGap float64
+	// CollisionAt is the first step the gap reached zero, -1 if none.
+	CollisionAt int
+
+	// RLSTime is the cumulative wall time spent inside the RLS predictor
+	// during the attack window (the paper reports ~1.2e7 ns).
+	RLSTime time.Duration
+	// EstimateSteps counts free-run predictions delivered.
+	EstimateSteps int
+
+	// EstimateDistRMSE / EstimateVelRMSE compare the estimates delivered
+	// during the attack against ground truth (NaN-free; zero when no
+	// estimates were produced).
+	EstimateDistRMSE, EstimateVelRMSE float64
+
+	// FinalFollowerSpeed and FinalGap snapshot the end state.
+	FinalFollowerSpeed, FinalGap float64
+}
+
+// Run executes the scenario.
+func Run(s Scenario) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	src := noise.NewSource(s.Seed)
+	atk, err := buildAttack(s, src)
+	if err != nil {
+		return nil, err
+	}
+	measure, threshold, err := buildMeasurePipeline(s, atk, src)
+	if err != nil {
+		return nil, err
+	}
+	det, err := cra.NewDetector(s.Schedule, threshold)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := estimate.NewRecoveryEstimator(s.Predictor)
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := acc.NewController(acc.DefaultConfig(s.SetSpeed))
+	if err != nil {
+		return nil, err
+	}
+
+	leader := vehicle.State{Position: s.InitialGap, Velocity: s.LeaderSpeed}
+	follower := vehicle.State{Position: 0, Velocity: s.SetSpeed}
+
+	res := &Result{
+		Scenario:    s,
+		Distance:    trace.NewSet(s.Name+": relative distance", "time (s)", "distance (m)"),
+		Velocity:    trace.NewSet(s.Name+": relative velocity", "time (s)", "velocity (m/s)"),
+		Speeds:      trace.NewSet(s.Name+": vehicle speeds", "time (s)", "speed (m/s)"),
+		DetectedAt:  -1,
+		CollisionAt: -1,
+		MinGap:      vehicle.Gap(leader, follower),
+	}
+	dTrue := res.Distance.Add(SeriesTrue)
+	dMeas := res.Distance.Add(SeriesMeasured)
+	dEst := res.Distance.Add(SeriesEstimated)
+	vTrue := res.Velocity.Add(SeriesTrue)
+	vMeas := res.Velocity.Add(SeriesMeasured)
+	vEst := res.Velocity.Add(SeriesEstimated)
+	spF := res.Speeds.Add(SeriesFollower)
+	spL := res.Speeds.Add(SeriesLeader)
+
+	// Held values bridge challenge instants when no measurement exists.
+	heldD, heldV := s.InitialGap, 0.0
+	var estD, estV, truthD, truthV []float64
+
+	// Rollback bookkeeping: CRA verifies the channel only at challenge
+	// instants, so when an attack is detected every sample since the last
+	// clean challenge is suspect. The predictor is snapshotted at each
+	// verified-clean challenge and rolled back on detection, then caught
+	// up to "now" with discarded free-run steps.
+	var predSnapshot *estimate.RecoveryEstimator
+
+	for k := 0; k < s.Steps; k++ {
+		// Leader dynamics (Eqn 15/17); standstill saturation in Step.
+		la := s.LeaderProfile.Accel(k)
+		if leader.Velocity <= 0 && la < 0 {
+			la = 0
+		}
+		leader = leader.Step(la, 1)
+
+		d := vehicle.Gap(leader, follower)
+		dv := vehicle.RelVelocity(leader, follower)
+		dTrue.Append(k, d)
+		vTrue.Append(k, dv)
+		spF.Append(k, follower.Velocity)
+		spL.Append(k, leader.Velocity)
+
+		m := measure(k, d, dv)
+		dMeas.Append(k, m.Distance)
+		vMeas.Append(k, m.RelVelocity)
+
+		useD, useV := m.Distance, m.RelVelocity
+		underAttack := false
+		if s.Defended {
+			ev := det.Step(m)
+			res.Events = append(res.Events, ev)
+			if ev.Detected && res.DetectedAt < 0 {
+				res.DetectedAt = k
+			}
+			underAttack = ev.State == cra.UnderAttack
+			if ev.Detected && predSnapshot != nil {
+				// Discard the possibly poisoned samples absorbed since
+				// the last verified-clean challenge: restore and free-run
+				// the restored filter up to the current step.
+				pred = predSnapshot.Clone()
+				for pred.Wall() < k-1 {
+					pred.CatchUp()
+				}
+			}
+			if ev.Challenged && ev.State == cra.Clear {
+				predSnapshot = pred.Clone()
+			}
+		}
+		switch {
+		case s.Defended && underAttack:
+			if pred.Ready() {
+				// Algorithm 2 line 11: estimate for the attack duration.
+				start := time.Now()
+				useD, useV = pred.Predict(follower.Velocity)
+				res.RLSTime += time.Since(start)
+				res.EstimateSteps++
+				dEst.Append(k, useD)
+				vEst.Append(k, useV)
+				estD = append(estD, useD)
+				estV = append(estV, useV)
+				truthD = append(truthD, d)
+				truthV = append(truthV, dv)
+			} else {
+				// Attack flagged before the fit is determined: the
+				// corrupted measurement must not reach the controller
+				// or the filter — hold the last accepted values.
+				useD, useV = heldD, heldV
+				pred.SkipStep()
+			}
+		case m.Challenge:
+			// No measurement at a challenge instant: hold the last
+			// accepted values for the controller, but keep the
+			// predictor's clock aligned with wall time.
+			useD, useV = heldD, heldV
+			if s.Defended {
+				pred.SkipStep()
+			}
+		default:
+			// Accepted measurement: train the predictor on it.
+			if s.Defended {
+				start := time.Now()
+				if err := pred.Observe(m.Distance, m.RelVelocity, follower.Velocity); err != nil {
+					return nil, fmt.Errorf("sim: predictor: %w", err)
+				}
+				res.RLSTime += time.Since(start)
+			}
+		}
+		heldD, heldV = useD, useV
+
+		_, aF := ctl.Step(useD, useV, follower.Velocity, true)
+		follower = follower.Step(aF, 1)
+
+		gap := vehicle.Gap(leader, follower)
+		if gap < res.MinGap {
+			res.MinGap = gap
+		}
+		if gap <= 0 && res.CollisionAt < 0 {
+			res.CollisionAt = k
+		}
+	}
+
+	res.FinalFollowerSpeed = follower.Velocity
+	res.FinalGap = vehicle.Gap(leader, follower)
+	if len(estD) > 0 {
+		res.EstimateDistRMSE, _ = stats.RMSE(estD, truthD)
+		res.EstimateVelRMSE, _ = stats.RMSE(estV, truthV)
+	}
+	if s.Defended {
+		res.Accuracy = cra.EvaluateAtChallenges(res.Events, func(k int) bool {
+			return atk.Active(k)
+		})
+	}
+	return res, nil
+}
+
+func buildAttack(s Scenario, src *noise.Source) (attack.Attack, error) {
+	switch s.Attack.Kind {
+	case NoAttack:
+		return attack.None{}, nil
+	case DoSAttack:
+		return attack.NewDoS(s.Attack.Window, s.Attack.Jammer, s.Radar, src)
+	case DelayAttack:
+		return attack.NewDelayInjection(s.Attack.Window, s.Attack.OffsetM, s.Radar)
+	case FastAdversaryAttack:
+		return attack.NewFastAdversary(s.Attack.Window, s.Attack.OffsetM)
+	default:
+		return nil, fmt.Errorf("sim: unknown attack kind %d", s.Attack.Kind)
+	}
+}
+
+// measureFunc produces the (possibly attacked) step measurement for the
+// true relative state.
+type measureFunc func(k int, d, dv float64) radar.Measurement
+
+// buildMeasurePipeline selects between the fast closed-form pipeline
+// (radar.FrontEnd + measurement-level attack transform) and the
+// high-fidelity signal pipeline (radar.SignalFrontEnd + sweep-level attack
+// transform), returning the measurement closure and the detector's
+// quiet-channel threshold.
+func buildMeasurePipeline(s Scenario, atk attack.Attack, src *noise.Source) (measureFunc, float64, error) {
+	if !s.SignalLevel {
+		fe, err := radar.NewFrontEnd(s.Radar, s.Schedule, src)
+		if err != nil {
+			return nil, 0, err
+		}
+		return func(k int, d, dv float64) radar.Measurement {
+			return atk.Corrupt(k, fe.Observe(k, d, dv))
+		}, fe.ZeroThreshold(), nil
+	}
+	samples := s.SignalSamples
+	if samples == 0 {
+		samples = 128
+	}
+	ext := s.Extractor
+	if ext == nil {
+		ext = radar.FFTExtractor{}
+	}
+	sfe, err := radar.NewSignalFrontEnd(s.Radar, s.Schedule, ext, samples, src)
+	if err != nil {
+		return nil, 0, err
+	}
+	sweepAtk, signalCapable := atk.(radar.SweepCorruptor)
+	return func(k int, d, dv float64) radar.Measurement {
+		sweep, challenge := sfe.ObserveSweep(k, d, dv)
+		if signalCapable {
+			sweep = sweepAtk.CorruptSweep(k, sweep, challenge)
+			return sfe.Measure(k, sweep, challenge)
+		}
+		// Attacks without a physical-channel model (e.g. the fast
+		// adversary) corrupt the extracted measurement instead.
+		return atk.Corrupt(k, sfe.Measure(k, sweep, challenge))
+	}, sfe.ZeroThreshold(), nil
+}

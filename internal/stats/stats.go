@@ -1,0 +1,119 @@
+// Package stats provides the error metrics and detection-accuracy
+// bookkeeping used to compare simulation traces against the paper's
+// reported results.
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// RMSE returns the root mean squared error between two equal-length series.
+func RMSE(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, errors.New("stats: length mismatch")
+	}
+	if len(a) == 0 {
+		return 0, errors.New("stats: empty input")
+	}
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(a))), nil
+}
+
+// MAE returns the mean absolute error.
+func MAE(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, errors.New("stats: length mismatch")
+	}
+	if len(a) == 0 {
+		return 0, errors.New("stats: empty input")
+	}
+	s := 0.0
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s / float64(len(a)), nil
+}
+
+// MaxAbsErr returns the largest absolute difference.
+func MaxAbsErr(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, errors.New("stats: length mismatch")
+	}
+	if len(a) == 0 {
+		return 0, errors.New("stats: empty input")
+	}
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m, nil
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	m := Mean(x)
+	s := 0.0
+	for _, v := range x {
+		s += (v - m) * (v - m)
+	}
+	return math.Sqrt(s / float64(len(x)))
+}
+
+// Min and Max of a slice (0 for empty input).
+func Min(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of a slice (0 for empty input).
+func Max(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// DetectionLatency returns flagStep - onsetStep, or -1 if the attack was
+// never flagged (flagStep < 0).
+func DetectionLatency(onsetStep, flagStep int) int {
+	if flagStep < 0 {
+		return -1
+	}
+	return flagStep - onsetStep
+}

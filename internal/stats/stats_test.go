@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRMSE(t *testing.T) {
+	got, err := RMSE([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil || got != 0 {
+		t.Fatalf("identical series RMSE = %v, %v", got, err)
+	}
+	got, err = RMSE([]float64{0, 0}, []float64{3, 4})
+	if err != nil || math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Fatalf("RMSE = %v", got)
+	}
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := RMSE(nil, nil); err == nil {
+		t.Fatal("empty should fail")
+	}
+}
+
+func TestMAEAndMaxAbs(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{2, 0, 3}
+	mae, err := MAE(a, b)
+	if err != nil || math.Abs(mae-1) > 1e-12 {
+		t.Fatalf("MAE = %v", mae)
+	}
+	mx, err := MaxAbsErr(a, b)
+	if err != nil || mx != 2 {
+		t.Fatalf("MaxAbsErr = %v", mx)
+	}
+	if _, err := MAE(nil, nil); err == nil {
+		t.Fatal("empty MAE should fail")
+	}
+	if _, err := MaxAbsErr([]float64{1}, []float64{}); err == nil {
+		t.Fatal("mismatch MaxAbsErr should fail")
+	}
+}
+
+func TestMetricOrderingProperty(t *testing.T) {
+	// MAE <= RMSE <= MaxAbsErr for any data.
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if n == 0 {
+			return true
+		}
+		x, y := a[:n], b[:n]
+		for i := 0; i < n; i++ {
+			if math.IsNaN(x[i]) || math.IsNaN(y[i]) || math.Abs(x[i]) > 1e100 || math.Abs(y[i]) > 1e100 {
+				return true
+			}
+		}
+		mae, _ := MAE(x, y)
+		rmse, _ := RMSE(x, y)
+		mx, _ := MaxAbsErr(x, y)
+		return mae <= rmse*(1+1e-12) && rmse <= mx*(1+1e-12)+1e-300
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(x); m != 5 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if s := StdDev(x); math.Abs(s-2) > 1e-12 {
+		t.Fatalf("StdDev = %v", s)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty Mean/StdDev should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	x := []float64{3, -1, 7}
+	if Min(x) != -1 || Max(x) != 7 {
+		t.Fatalf("Min/Max = %v/%v", Min(x), Max(x))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty Min/Max should be 0")
+	}
+}
+
+func TestDetectionLatency(t *testing.T) {
+	if got := DetectionLatency(182, 182); got != 0 {
+		t.Fatalf("latency = %d", got)
+	}
+	if got := DetectionLatency(182, 190); got != 8 {
+		t.Fatalf("latency = %d", got)
+	}
+	if got := DetectionLatency(182, -1); got != -1 {
+		t.Fatalf("missed detection latency = %d", got)
+	}
+}

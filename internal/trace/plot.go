@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// PlotOptions controls ASCII rendering.
+type PlotOptions struct {
+	// Width and Height of the plotting area in characters (default 96x24).
+	Width, Height int
+	// YMin/YMax fix the vertical range; both zero means auto-scale.
+	YMin, YMax float64
+}
+
+// seriesGlyphs assigns one glyph per series, in insertion order.
+var seriesGlyphs = []rune{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// RenderASCII draws every series of the set into an ASCII chart — the
+// terminal stand-in for the paper's MATLAB figures. Later series overdraw
+// earlier ones where they collide.
+func (st *Set) RenderASCII(w io.Writer, opt PlotOptions) error {
+	width, height := opt.Width, opt.Height
+	if width <= 0 {
+		width = 96
+	}
+	if height <= 0 {
+		height = 24
+	}
+	if len(st.series) == 0 {
+		return fmt.Errorf("trace: nothing to plot")
+	}
+	// Time and value ranges.
+	tmin, tmax := math.MaxInt64, math.MinInt64
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range st.series {
+		for i, t := range s.T {
+			if math.IsNaN(s.Y[i]) {
+				continue
+			}
+			if t < tmin {
+				tmin = t
+			}
+			if t > tmax {
+				tmax = t
+			}
+			if s.Y[i] < ymin {
+				ymin = s.Y[i]
+			}
+			if s.Y[i] > ymax {
+				ymax = s.Y[i]
+			}
+		}
+	}
+	if tmin > tmax {
+		return fmt.Errorf("trace: no plottable samples")
+	}
+	if opt.YMin != 0 || opt.YMax != 0 {
+		ymin, ymax = opt.YMin, opt.YMax
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	xPos := func(t int) int {
+		if tmax == tmin {
+			return 0
+		}
+		return int(float64(t-tmin) / float64(tmax-tmin) * float64(width-1))
+	}
+	yPos := func(v float64) int {
+		frac := (v - ymin) / (ymax - ymin)
+		row := height - 1 - int(frac*float64(height-1)+0.5)
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		return row
+	}
+	for si, s := range st.series {
+		g := seriesGlyphs[si%len(seriesGlyphs)]
+		prevX, prevY := -1, -1
+		for i, t := range s.T {
+			if math.IsNaN(s.Y[i]) {
+				prevX = -1
+				continue
+			}
+			x, y := xPos(t), yPos(s.Y[i])
+			grid[y][x] = g
+			// Simple vertical interpolation to keep lines connected.
+			if prevX >= 0 && x-prevX <= 1 && prevY != y {
+				step := 1
+				if prevY > y {
+					step = -1
+				}
+				for yy := prevY + step; yy != y; yy += step {
+					if grid[yy][x] == ' ' {
+						grid[yy][x] = g
+					}
+				}
+			}
+			prevX, prevY = x, y
+		}
+	}
+	// Header and legend.
+	if st.Title != "" {
+		fmt.Fprintf(w, "%s\n", st.Title)
+	}
+	legend := make([]string, 0, len(st.series))
+	for si, s := range st.series {
+		legend = append(legend, fmt.Sprintf("%c %s", seriesGlyphs[si%len(seriesGlyphs)], s.Name))
+	}
+	fmt.Fprintf(w, "legend: %s\n", strings.Join(legend, " | "))
+	for r, row := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.6g", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%8.6g", ymin)
+		case (height - 1) / 2:
+			label = fmt.Sprintf("%8.6g", (ymin+ymax)/2)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width))
+	fmt.Fprintf(w, "%s  %-10d%s%10d  (%s)\n", strings.Repeat(" ", 8), tmin,
+		strings.Repeat(" ", max(0, width-22)), tmax, st.XLabel)
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSeriesAppendAt(t *testing.T) {
+	var s Series
+	s.Append(0, 1.5)
+	s.Append(5, -2)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if v, ok := s.At(5); !ok || v != -2 {
+		t.Fatalf("At(5) = %v, %v", v, ok)
+	}
+	if _, ok := s.At(3); ok {
+		t.Fatal("At(3) should miss")
+	}
+}
+
+func TestSeriesMinMax(t *testing.T) {
+	var s Series
+	s.Append(0, 3)
+	s.Append(1, math.NaN())
+	s.Append(2, -1)
+	lo, hi := s.MinMax()
+	if lo != -1 || hi != 3 {
+		t.Fatalf("MinMax = %v, %v", lo, hi)
+	}
+	var empty Series
+	lo, hi = empty.MinMax()
+	if lo != 0 || hi != 0 {
+		t.Fatalf("empty MinMax = %v, %v", lo, hi)
+	}
+}
+
+func TestSetAddIdempotent(t *testing.T) {
+	st := NewSet("t", "x", "y")
+	a := st.Add("a")
+	b := st.Add("a")
+	if a != b {
+		t.Fatal("Add must return the existing series")
+	}
+	if st.Series("a") != a {
+		t.Fatal("Series lookup failed")
+	}
+	if st.Series("missing") != nil {
+		t.Fatal("missing series should be nil")
+	}
+	names := st.Names()
+	if len(names) != 1 || names[0] != "a" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	st := NewSet("demo", "t", "v")
+	a := st.Add("alpha")
+	b := st.Add("beta,quoted")
+	a.Append(0, 1)
+	a.Append(1, 2)
+	b.Append(1, 5)
+	var sb strings.Builder
+	if err := st.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d: %q", len(lines), got)
+	}
+	if lines[0] != `t,alpha,"beta,quoted"` {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "0,1," {
+		t.Fatalf("row 0 = %q", lines[1])
+	}
+	if lines[2] != "1,2,5" {
+		t.Fatalf("row 1 = %q", lines[2])
+	}
+}
+
+func TestWriteCSVEmpty(t *testing.T) {
+	st := NewSet("demo", "t", "v")
+	var sb strings.Builder
+	if err := st.WriteCSV(&sb); err == nil {
+		t.Fatal("empty set should fail")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	st := NewSet("ramp", "time (s)", "value")
+	s := st.Add("line")
+	for k := 0; k <= 50; k++ {
+		s.Append(k, float64(k))
+	}
+	var sb strings.Builder
+	if err := st.RenderASCII(&sb, PlotOptions{Width: 40, Height: 10}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "ramp") || !strings.Contains(out, "legend: * line") {
+		t.Fatalf("missing header/legend:\n%s", out)
+	}
+	// The max label and min label must appear.
+	if !strings.Contains(out, "50") || !strings.Contains(out, "0") {
+		t.Fatalf("missing axis labels:\n%s", out)
+	}
+	// Rendering must contain the glyph.
+	if !strings.Contains(out, "*") {
+		t.Fatalf("no data glyphs:\n%s", out)
+	}
+}
+
+func TestRenderASCIIMultiSeries(t *testing.T) {
+	st := NewSet("two", "t", "v")
+	a := st.Add("up")
+	b := st.Add("down")
+	for k := 0; k <= 20; k++ {
+		a.Append(k, float64(k))
+		b.Append(k, float64(20-k))
+	}
+	var sb strings.Builder
+	if err := st.RenderASCII(&sb, PlotOptions{Width: 30, Height: 8}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatalf("expected two glyph kinds:\n%s", out)
+	}
+}
+
+func TestRenderASCIIErrors(t *testing.T) {
+	st := NewSet("x", "t", "v")
+	var sb strings.Builder
+	if err := st.RenderASCII(&sb, PlotOptions{}); err == nil {
+		t.Fatal("empty set should fail")
+	}
+	s := st.Add("nan-only")
+	s.Append(0, math.NaN())
+	if err := st.RenderASCII(&sb, PlotOptions{}); err == nil {
+		t.Fatal("NaN-only series should fail")
+	}
+}
+
+func TestRenderASCIIConstantSeries(t *testing.T) {
+	// A flat series must not divide by zero.
+	st := NewSet("flat", "t", "v")
+	s := st.Add("c")
+	for k := 0; k < 10; k++ {
+		s.Append(k, 5)
+	}
+	var sb strings.Builder
+	if err := st.RenderASCII(&sb, PlotOptions{Width: 20, Height: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
