@@ -7,9 +7,12 @@ package safesense
 //	go test -bench=. -benchmem
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"safesense/internal/attack"
+	"safesense/internal/campaign"
 	"safesense/internal/cra"
 	"safesense/internal/dsp/fft"
 	"safesense/internal/dsp/music"
@@ -191,6 +194,51 @@ func BenchmarkLaneKeepingRun(b *testing.B) {
 		if res.DetectedAt < 0 {
 			b.Fatal("lane spoof not detected")
 		}
+	}
+}
+
+// --- Campaign engine: Monte Carlo sweep throughput -----------------------
+//
+// One iteration executes a 64-job sweep over the Figure 2a/2b grid (DoS +
+// delay × 2 onsets × 16 seeds). The workers sub-benchmarks establish the
+// worker-pool scaling curve; runs/s is the service-level throughput metric
+// safesensed reports per campaign. On a single-CPU host the curve is flat
+// (the pool cannot beat GOMAXPROCS=1); on n cores the speedup tracks
+// min(workers, n) until the jobs run out.
+
+func BenchmarkCampaignThroughput(b *testing.B) {
+	spec := campaign.Spec{
+		Name:       "bench-fig2-grid",
+		Steps:      301,
+		BaseSeed:   42,
+		Replicates: 16,
+		Attacks:    []string{campaign.AttackDoS, campaign.AttackDelay},
+		Onsets:     []int{175, 182},
+	}
+	jobs, err := spec.NumJobs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if jobs != 64 {
+		b.Fatalf("grid size = %d, want 64", jobs)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sum, err := campaign.Run(context.Background(), spec,
+					campaign.Options{Workers: workers, DiscardOutcomes: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if agg := sum.Aggregate; agg.Detected != 64 || agg.FalsePositives != 0 {
+					b.Fatalf("aggregate drifted: %+v", agg)
+				}
+			}
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(jobs*b.N)/sec, "runs/s")
+			}
+		})
 	}
 }
 

@@ -1,0 +1,88 @@
+// Command safesensed serves the safesense simulator over HTTP/JSON: single
+// scenario runs, asynchronous Monte Carlo campaign sweeps, and health.
+//
+// Endpoints:
+//
+//	GET  /healthz             liveness + store occupancy
+//	POST /v1/run              run one scenario, return the JSON summary
+//	POST /v1/campaigns        submit a sweep; returns {"id": ...} (202)
+//	GET  /v1/campaigns/{id}   poll progress; summary appears when done
+//	DELETE /v1/campaigns/{id} cancel a running sweep
+//
+// Usage:
+//
+//	safesensed [-addr :8077] [-workers N] [-max-campaigns N] [-max-jobs N]
+//
+// The service is stdlib-only, keeps campaigns in a bounded in-memory
+// store, and shuts down gracefully on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size per campaign (0 = GOMAXPROCS)")
+	maxCampaigns := flag.Int("max-campaigns", 64, "bounded campaign store size")
+	maxJobs := flag.Int("max-jobs", 100000, "reject campaigns that expand beyond this many runs")
+	flag.Parse()
+
+	if err := run(*addr, *workers, *maxCampaigns, *maxJobs); err != nil {
+		fmt.Fprintln(os.Stderr, "safesensed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, maxCampaigns, maxJobs int) error {
+	if maxCampaigns < 1 {
+		return fmt.Errorf("-max-campaigns must be >= 1, got %d", maxCampaigns)
+	}
+	if maxJobs < 1 {
+		return fmt.Errorf("-max-jobs must be >= 1, got %d", maxJobs)
+	}
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	srv := NewServer(Config{
+		Workers:      workers,
+		MaxCampaigns: maxCampaigns,
+		MaxJobs:      maxJobs,
+		Log:          logger,
+	})
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("safesensed: listening on %s", addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Print("safesensed: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	srv.Drain()
+	return nil
+}

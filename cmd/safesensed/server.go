@@ -1,0 +1,351 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"safesense/internal/campaign"
+	"safesense/internal/report"
+	"safesense/internal/sim"
+)
+
+// Config tunes the service.
+type Config struct {
+	// Workers bounds each campaign's worker pool (<= 0 means GOMAXPROCS).
+	Workers int
+	// MaxCampaigns bounds the in-memory campaign store; submissions evict
+	// the oldest finished campaign when full, and are rejected when every
+	// stored campaign is still running (zero means 64).
+	MaxCampaigns int
+	// MaxJobs rejects campaign specs that expand beyond this many runs
+	// (zero means 100000).
+	MaxJobs int
+	// Log receives request/lifecycle lines (nil means the default logger).
+	Log *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxCampaigns == 0 {
+		c.MaxCampaigns = 64
+	}
+	if c.MaxJobs == 0 {
+		c.MaxJobs = 100000
+	}
+	if c.Log == nil {
+		c.Log = log.Default()
+	}
+	return c
+}
+
+// Campaign lifecycle states.
+const (
+	statusRunning   = "running"
+	statusDone      = "done"
+	statusFailed    = "failed"
+	statusCancelled = "cancelled"
+)
+
+// entry is one stored campaign.
+type entry struct {
+	ID        string
+	Status    string
+	Spec      campaign.Spec
+	Jobs      int
+	Done      int
+	CreatedAt time.Time
+
+	Summary *campaign.Summary
+	Err     string
+
+	cancel context.CancelFunc
+}
+
+// terminal reports whether the campaign will never change again.
+func (e *entry) terminal() bool { return e.Status != statusRunning }
+
+// Server is the safesensed HTTP service: single runs, async campaign
+// sweeps over a bounded in-memory store, and health.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	mu        sync.Mutex
+	campaigns map[string]*entry
+	order     []string // insertion order, for eviction
+	nextID    int
+
+	// wg tracks campaign goroutines so tests and shutdown can drain them.
+	wg sync.WaitGroup
+}
+
+// NewServer wires the routes.
+func NewServer(cfg Config) *Server {
+	s := &Server{
+		cfg:       cfg.withDefaults(),
+		mux:       http.NewServeMux(),
+		campaigns: make(map[string]*entry),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancel)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain blocks until every in-flight campaign goroutine has exited.
+func (s *Server) Drain() { s.wg.Wait() }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// decodeBody strictly decodes one JSON object into v.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := len(s.campaigns)
+	running := 0
+	for _, e := range s.campaigns {
+		if !e.terminal() {
+			running++
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":                true,
+		"campaigns_stored":  n,
+		"campaigns_running": running,
+	})
+}
+
+// RunRequest is the single-scenario request: a campaign grid point plus
+// response options.
+type RunRequest struct {
+	campaign.Point
+	// IncludeTraces ships the full distance/velocity/speed traces in the
+	// response (large).
+	IncludeTraces bool `json:"include_traces,omitempty"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	scenario, err := req.Point.Scenario()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := scenario.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := sim.Run(scenario)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, report.Summarize(res, req.IncludeTraces))
+}
+
+// SubmitRequest asks for an async campaign sweep.
+type SubmitRequest struct {
+	Spec campaign.Spec `json:"spec"`
+	// Workers overrides the server's per-campaign pool size (optional).
+	Workers int `json:"workers,omitempty"`
+	// DiscardOutcomes keeps only the aggregate in the final summary.
+	DiscardOutcomes bool `json:"discard_outcomes,omitempty"`
+}
+
+// SubmitResponse acknowledges a submission.
+type SubmitResponse struct {
+	ID   string `json:"id"`
+	Jobs int    `json:"jobs"`
+	URL  string `json:"url"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	jobs, err := req.Spec.NumJobs()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if jobs > s.cfg.MaxJobs {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("campaign expands to %d jobs, server cap is %d", jobs, s.cfg.MaxJobs))
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.cfg.Workers
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s.mu.Lock()
+	if !s.evictLocked() {
+		s.mu.Unlock()
+		cancel()
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("campaign store full (%d running)", s.cfg.MaxCampaigns))
+		return
+	}
+	s.nextID++
+	e := &entry{
+		ID:        fmt.Sprintf("c%06d", s.nextID),
+		Status:    statusRunning,
+		Spec:      req.Spec,
+		Jobs:      jobs,
+		CreatedAt: time.Now(),
+		cancel:    cancel,
+	}
+	s.campaigns[e.ID] = e
+	s.order = append(s.order, e.ID)
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.runCampaign(ctx, e, workers, req.DiscardOutcomes)
+
+	s.cfg.Log.Printf("safesensed: campaign %s submitted (%d jobs)", e.ID, jobs)
+	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: e.ID, Jobs: jobs, URL: "/v1/campaigns/" + e.ID})
+}
+
+// evictLocked makes room for one more campaign, dropping the oldest
+// terminal entry if needed. It reports false when the store is full of
+// running campaigns. Callers hold s.mu.
+func (s *Server) evictLocked() bool {
+	if len(s.campaigns) < s.cfg.MaxCampaigns {
+		return true
+	}
+	for i, id := range s.order {
+		if e := s.campaigns[id]; e != nil && e.terminal() {
+			delete(s.campaigns, id)
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) runCampaign(ctx context.Context, e *entry, workers int, discard bool) {
+	defer s.wg.Done()
+	sum, err := campaign.Run(ctx, e.Spec, campaign.Options{
+		Workers:         workers,
+		DiscardOutcomes: discard,
+		OnProgress: func(done, total int) {
+			s.mu.Lock()
+			e.Done = done
+			s.mu.Unlock()
+		},
+	})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case errors.Is(err, context.Canceled):
+		e.Status = statusCancelled
+		e.Err = err.Error()
+	case err != nil:
+		e.Status = statusFailed
+		e.Err = err.Error()
+	default:
+		e.Status = statusDone
+		e.Done = e.Jobs
+		e.Summary = sum
+	}
+	s.cfg.Log.Printf("safesensed: campaign %s %s", e.ID, e.Status)
+}
+
+// StatusResponse reports campaign progress and, once done, the summary.
+type StatusResponse struct {
+	ID             string            `json:"id"`
+	Status         string            `json:"status"`
+	Jobs           int               `json:"jobs"`
+	Done           int               `json:"done"`
+	CreatedAt      time.Time         `json:"created_at"`
+	ElapsedSeconds float64           `json:"elapsed_seconds"`
+	Error          string            `json:"error,omitempty"`
+	Summary        *campaign.Summary `json:"summary,omitempty"`
+}
+
+func (s *Server) statusLocked(e *entry) StatusResponse {
+	resp := StatusResponse{
+		ID:        e.ID,
+		Status:    e.Status,
+		Jobs:      e.Jobs,
+		Done:      e.Done,
+		CreatedAt: e.CreatedAt,
+		Error:     e.Err,
+		Summary:   e.Summary,
+	}
+	if e.Summary != nil {
+		resp.ElapsedSeconds = e.Summary.ElapsedSeconds
+	} else {
+		resp.ElapsedSeconds = time.Since(e.CreatedAt).Seconds()
+	}
+	return resp
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	e := s.campaigns[id]
+	var resp StatusResponse
+	if e != nil {
+		resp = s.statusLocked(e)
+	}
+	s.mu.Unlock()
+	if e == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no campaign %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	e := s.campaigns[id]
+	var cancel context.CancelFunc
+	if e != nil && !e.terminal() {
+		cancel = e.cancel
+	}
+	s.mu.Unlock()
+	if e == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no campaign %q", id))
+		return
+	}
+	if cancel != nil {
+		cancel()
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "status": "cancelling"})
+}

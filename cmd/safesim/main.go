@@ -30,10 +30,46 @@ func main() {
 	height := flag.Int("height", 20, "plot height")
 	flag.Parse()
 
+	if err := validateFlags(*attackKind, *leader, *steps, *onset, *offset, *width, *height); err != nil {
+		fmt.Fprintln(os.Stderr, "safesim:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	if err := run(*attackKind, *leader, *csvPath, *defended, *steps, *seed, *offset, *onset, *width, *height); err != nil {
 		fmt.Fprintln(os.Stderr, "safesim:", err)
 		os.Exit(1)
 	}
+}
+
+// validateFlags rejects nonsensical flag combinations with a usage error
+// before any simulation work starts.
+func validateFlags(attackKind, leader string, steps, onset int, offset float64, width, height int) error {
+	switch attackKind {
+	case "none", "dos", "delay":
+	default:
+		return fmt.Errorf("unknown -attack %q (want none, dos, or delay)", attackKind)
+	}
+	switch leader {
+	case "const", "phased":
+	default:
+		return fmt.Errorf("unknown -leader %q (want const or phased)", leader)
+	}
+	if steps < 1 {
+		return fmt.Errorf("-steps must be >= 1, got %d", steps)
+	}
+	if onset < 0 {
+		return fmt.Errorf("-onset must be >= 0, got %d", onset)
+	}
+	if attackKind != "none" && onset >= steps {
+		return fmt.Errorf("-onset %d is beyond the -steps %d horizon", onset, steps)
+	}
+	if attackKind == "delay" && offset <= 0 {
+		return fmt.Errorf("-offset must be positive for a delay attack, got %g", offset)
+	}
+	if width < 2 || height < 2 {
+		return fmt.Errorf("-width and -height must be >= 2, got %dx%d", width, height)
+	}
+	return nil
 }
 
 func run(attackKind, leader, csvPath string, defended bool, steps int, seed int64, offset float64, onset, width, height int) error {

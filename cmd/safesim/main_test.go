@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestValidateFlags(t *testing.T) {
+	ok := func(attack, leader string, steps, onset int, offset float64) {
+		t.Helper()
+		if err := validateFlags(attack, leader, steps, onset, offset, 96, 20); err != nil {
+			t.Errorf("validateFlags(%s, %s, %d, %d, %g) = %v, want nil",
+				attack, leader, steps, onset, offset, err)
+		}
+	}
+	bad := func(name, attack, leader string, steps, onset int, offset float64) {
+		t.Helper()
+		if err := validateFlags(attack, leader, steps, onset, offset, 96, 20); err == nil {
+			t.Errorf("%s: want usage error", name)
+		}
+	}
+
+	ok("dos", "const", 301, 182, 6)
+	ok("delay", "phased", 301, 180, 6)
+	ok("none", "const", 10, 0, 6)
+
+	bad("unknown attack", "emp", "const", 301, 182, 6)
+	bad("unknown leader", "dos", "teleport", 301, 182, 6)
+	bad("zero steps", "dos", "const", 0, 0, 6)
+	bad("negative steps", "dos", "const", -5, 0, 6)
+	bad("negative onset", "dos", "const", 301, -1, 6)
+	bad("onset beyond horizon", "dos", "const", 100, 100, 6)
+	bad("non-positive delay offset", "delay", "const", 301, 180, 0)
+
+	if err := validateFlags("dos", "const", 301, 182, 6, 1, 20); err == nil {
+		t.Error("tiny plot should be rejected")
+	}
+}

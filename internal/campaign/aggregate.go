@@ -1,0 +1,142 @@
+package campaign
+
+import (
+	"math"
+
+	"safesense/internal/stats"
+)
+
+// Aggregate condenses a campaign's outcomes into the sweep-level
+// statistics the four paper figures cannot show. It is a pure function of
+// the outcome list, which is itself a pure function of the spec, so the
+// aggregate is byte-identical across executions regardless of worker
+// count.
+type Aggregate struct {
+	// Jobs is the total number of runs.
+	Jobs int `json:"jobs"`
+	// Attacked counts runs that mounted an attack.
+	Attacked int `json:"attacked"`
+	// Detected / Missed partition the defended attacked runs by whether
+	// the CRA detector ever flagged the attack. (The fast-adversary kind
+	// is designed to land in Missed — the paper's stated limitation.)
+	Detected int `json:"detected"`
+	Missed   int `json:"missed"`
+
+	// FalsePositives / FalseNegatives total the challenge-instant
+	// confusion counts over all defended runs (the paper reports zero of
+	// each on its schedules).
+	FalsePositives int `json:"false_positives"`
+	FalseNegatives int `json:"false_negatives"`
+
+	// Latency summarizes detection latency (steps from onset to flag)
+	// over detected runs.
+	Latency LatencyStats `json:"latency"`
+
+	// Collisions counts runs whose gap reached zero; CollisionRate is
+	// Collisions / Jobs.
+	Collisions    int     `json:"collisions"`
+	CollisionRate float64 `json:"collision_rate"`
+	// WorstMinGapM is the smallest leader-follower gap seen anywhere in
+	// the campaign.
+	WorstMinGapM float64 `json:"worst_min_gap_m"`
+
+	// Gap-error statistics over runs that produced estimates: the mean
+	// per-run RMSE and the campaign-wide worst-case absolute error of the
+	// recovered distance, in meters.
+	MeanDistRMSEm  float64 `json:"mean_dist_rmse_m"`
+	WorstDistErrM  float64 `json:"worst_dist_err_m"`
+	MeanVelRMSEmps float64 `json:"mean_vel_rmse_mps"`
+	WorstVelErrMps float64 `json:"worst_vel_err_mps"`
+	// EstimatedRuns counts runs that delivered at least one estimate.
+	EstimatedRuns int `json:"estimated_runs"`
+}
+
+// LatencyStats summarizes the detection-latency distribution in steps.
+type LatencyStats struct {
+	// N is the number of detected runs the stats are over.
+	N int `json:"n"`
+	// Mean, P50, P90, P99 and Max in steps (zero when N == 0).
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+	// Histogram bins the latencies from 0 to Max+1 steps (nil when
+	// N == 0).
+	Histogram *stats.Histogram `json:"histogram,omitempty"`
+}
+
+// latencyHistogramBins bounds the latency histogram resolution.
+const latencyHistogramBins = 16
+
+// AggregateOutcomes folds the per-job records into campaign statistics.
+func AggregateOutcomes(outcomes []Outcome) Aggregate {
+	agg := Aggregate{Jobs: len(outcomes), WorstMinGapM: math.Inf(1)}
+	if len(outcomes) == 0 {
+		agg.WorstMinGapM = 0
+		return agg
+	}
+	var latencies []float64
+	var rmseD, rmseV []float64
+	for _, o := range outcomes {
+		attacked := o.Point.Attack != AttackNone && o.Point.Attack != ""
+		if attacked {
+			agg.Attacked++
+			if o.Point.Defended {
+				if o.DetectedAt >= 0 {
+					agg.Detected++
+					latencies = append(latencies, float64(o.DetectionLatency))
+				} else {
+					agg.Missed++
+				}
+			}
+		}
+		agg.FalsePositives += o.FalsePositives
+		agg.FalseNegatives += o.FalseNegatives
+		if o.CollisionAt >= 0 {
+			agg.Collisions++
+		}
+		if o.MinGapM < agg.WorstMinGapM {
+			agg.WorstMinGapM = o.MinGapM
+		}
+		if o.EstimateSteps > 0 {
+			agg.EstimatedRuns++
+			rmseD = append(rmseD, o.DistRMSEm)
+			rmseV = append(rmseV, o.VelRMSEmps)
+			if o.DistMaxErrM > agg.WorstDistErrM {
+				agg.WorstDistErrM = o.DistMaxErrM
+			}
+			if o.VelMaxErrMps > agg.WorstVelErrMps {
+				agg.WorstVelErrMps = o.VelMaxErrMps
+			}
+		}
+	}
+	agg.CollisionRate = float64(agg.Collisions) / float64(agg.Jobs)
+	agg.MeanDistRMSEm = stats.Mean(rmseD)
+	agg.MeanVelRMSEmps = stats.Mean(rmseV)
+	agg.Latency = latencyStats(latencies)
+	return agg
+}
+
+func latencyStats(lat []float64) LatencyStats {
+	ls := LatencyStats{N: len(lat)}
+	if len(lat) == 0 {
+		return ls
+	}
+	ls.Mean = stats.Mean(lat)
+	ls.Max = stats.Max(lat)
+	ps, err := stats.Percentiles(lat, 50, 90, 99)
+	if err == nil {
+		ls.P50, ls.P90, ls.P99 = ps[0], ps[1], ps[2]
+	}
+	// Bin from 0 to just past the max so the worst case is visible; a
+	// campaign where every detection is instant still gets a valid range.
+	hist, err := stats.NewHistogram(0, ls.Max+1, latencyHistogramBins)
+	if err == nil {
+		for _, v := range lat {
+			hist.Observe(v)
+		}
+		ls.Histogram = hist
+	}
+	return ls
+}

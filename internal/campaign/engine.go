@@ -1,0 +1,201 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"safesense/internal/sim"
+	"safesense/internal/stats"
+)
+
+// Options tunes campaign execution.
+type Options struct {
+	// Workers bounds the worker pool (<= 0 means GOMAXPROCS).
+	Workers int
+	// OnProgress, when non-nil, is called after every completed job with
+	// (done, total). Calls are serialized; the callback must not block
+	// for long or it throttles the pool.
+	OnProgress func(done, total int)
+	// DiscardOutcomes drops the per-job outcome list from the summary,
+	// keeping only the aggregate — for very large campaigns where the
+	// O(jobs) payload is unwanted.
+	DiscardOutcomes bool
+}
+
+// Outcome is the per-job result record: the job identity plus the scalar
+// metrics a sweep aggregates. Traces are deliberately not retained — a
+// 10k-job campaign at 301 steps would otherwise hold ~10^7 samples.
+type Outcome struct {
+	Index     int    `json:"index"`
+	Replicate int    `json:"replicate"`
+	Label     string `json:"label"`
+	Point     Point  `json:"point"`
+
+	// DetectedAt is the step the attack was flagged, -1 if never.
+	DetectedAt int `json:"detected_at"`
+	// DetectionLatency is DetectedAt - onset, -1 if never detected or no
+	// attack was mounted.
+	DetectionLatency int `json:"detection_latency"`
+
+	FalsePositives int `json:"false_positives"`
+	FalseNegatives int `json:"false_negatives"`
+
+	MinGapM     float64 `json:"min_gap_m"`
+	FinalGapM   float64 `json:"final_gap_m"`
+	CollisionAt int     `json:"collision_at"`
+
+	EstimateSteps int     `json:"estimate_steps"`
+	DistRMSEm     float64 `json:"dist_rmse_m"`
+	DistMaxErrM   float64 `json:"dist_max_err_m"`
+	VelRMSEmps    float64 `json:"vel_rmse_mps"`
+	VelMaxErrMps  float64 `json:"vel_max_err_mps"`
+	FinalSpeedMps float64 `json:"final_speed_mps"`
+}
+
+// outcomeOf projects a sim.Result onto the campaign record.
+func outcomeOf(j Job, res *sim.Result) Outcome {
+	o := Outcome{
+		Index:            j.Index,
+		Replicate:        j.Replicate,
+		Label:            j.Point.Label(),
+		Point:            j.Point,
+		DetectedAt:       res.DetectedAt,
+		DetectionLatency: -1,
+		FalsePositives:   res.Accuracy.FalsePositives,
+		FalseNegatives:   res.Accuracy.FalseNegatives,
+		MinGapM:          res.MinGap,
+		FinalGapM:        res.FinalGap,
+		CollisionAt:      res.CollisionAt,
+		EstimateSteps:    res.EstimateSteps,
+		DistRMSEm:        res.EstimateDistRMSE,
+		DistMaxErrM:      res.EstimateDistMaxErr,
+		VelRMSEmps:       res.EstimateVelRMSE,
+		VelMaxErrMps:     res.EstimateVelMaxErr,
+		FinalSpeedMps:    res.FinalFollowerSpeed,
+	}
+	if j.Point.Attack != AttackNone && j.Point.Attack != "" {
+		o.DetectionLatency = stats.DetectionLatency(j.Point.Onset, res.DetectedAt)
+	}
+	return o
+}
+
+// Summary is the full campaign result: the deterministic Aggregate (a pure
+// function of the spec), the per-job outcomes, and the timing of this
+// particular execution.
+type Summary struct {
+	Name    string `json:"name,omitempty"`
+	Spec    Spec   `json:"spec"`
+	Workers int    `json:"workers"`
+
+	Aggregate Aggregate `json:"aggregate"`
+	// Outcomes lists every job in grid order (nil when discarded).
+	Outcomes []Outcome `json:"outcomes,omitempty"`
+
+	// ElapsedSeconds and RunsPerSec time this execution (wall clock; not
+	// deterministic, excluded from determinism comparisons).
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	RunsPerSec     float64 `json:"runs_per_sec"`
+}
+
+// Run expands the spec and executes every job on a bounded worker pool.
+// The context cancels the sweep: remaining jobs are abandoned and
+// ctx.Err() is returned. Results are deterministic for a given spec —
+// identical regardless of Workers.
+func Run(ctx context.Context, spec Spec, opt Options) (*Summary, error) {
+	jobs, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) && len(jobs) > 0 {
+		workers = len(jobs)
+	}
+
+	start := time.Now()
+	outcomes := make([]Outcome, len(jobs))
+
+	feed := make(chan Job)
+	errc := make(chan error, workers)
+	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	done := 0
+	report := func() {
+		if opt.OnProgress == nil {
+			return
+		}
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		done++
+		opt.OnProgress(done, len(jobs))
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range feed {
+				s, err := j.Point.Scenario()
+				if err == nil {
+					var res *sim.Result
+					res, err = sim.Run(s)
+					if err == nil {
+						outcomes[j.Index] = outcomeOf(j, res)
+						report()
+						continue
+					}
+				}
+				select {
+				case errc <- fmt.Errorf("campaign: job %d (%s): %w", j.Index, j.Point.Label(), err):
+				default:
+				}
+				cancel()
+				return
+			}
+		}()
+	}
+
+feedLoop:
+	for _, j := range jobs {
+		select {
+		case feed <- j:
+		case <-runCtx.Done():
+			break feedLoop
+		}
+	}
+	close(feed)
+	wg.Wait()
+
+	select {
+	case err := <-errc:
+		return nil, err
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	elapsed := time.Since(start)
+	sum := &Summary{
+		Name:           spec.Name,
+		Spec:           spec,
+		Workers:        workers,
+		Aggregate:      AggregateOutcomes(outcomes),
+		ElapsedSeconds: elapsed.Seconds(),
+	}
+	if elapsed > 0 {
+		sum.RunsPerSec = float64(len(jobs)) / elapsed.Seconds()
+	}
+	if !opt.DiscardOutcomes {
+		sum.Outcomes = outcomes
+	}
+	return sum, nil
+}

@@ -1,0 +1,81 @@
+package report
+
+import (
+	"safesense/internal/sim"
+	"safesense/internal/trace"
+)
+
+// RunSummary is the JSON-serializable digest of one sim.Result: the wire
+// format the safesensed service returns for a single-scenario run, and a
+// stable export shape for external tooling. Traces ride along only when
+// requested — they dominate the payload size.
+type RunSummary struct {
+	Name     string `json:"name"`
+	Attack   string `json:"attack"`
+	Defended bool   `json:"defended"`
+	Steps    int    `json:"steps"`
+	Seed     int64  `json:"seed"`
+
+	DetectedAt     int `json:"detected_at"`
+	FalsePositives int `json:"false_positives"`
+	FalseNegatives int `json:"false_negatives"`
+	TruePositives  int `json:"true_positives"`
+	TrueNegatives  int `json:"true_negatives"`
+
+	MinGapM       float64 `json:"min_gap_m"`
+	FinalGapM     float64 `json:"final_gap_m"`
+	FinalSpeedMps float64 `json:"final_speed_mps"`
+	CollisionAt   int     `json:"collision_at"`
+
+	EstimateSteps int     `json:"estimate_steps"`
+	DistRMSEm     float64 `json:"dist_rmse_m"`
+	DistMaxErrM   float64 `json:"dist_max_err_m"`
+	VelRMSEmps    float64 `json:"vel_rmse_mps"`
+	VelMaxErrMps  float64 `json:"vel_max_err_mps"`
+	RLSTimeNs     int64   `json:"rls_time_ns"`
+
+	// Traces holds the distance / velocity / speed trace sets when the
+	// caller asked for them (see Summarize's includeTraces).
+	Traces *RunTraces `json:"traces,omitempty"`
+}
+
+// RunTraces bundles the three trace sets of a run in JSON form.
+type RunTraces struct {
+	Distance trace.SetDump `json:"distance"`
+	Velocity trace.SetDump `json:"velocity"`
+	Speeds   trace.SetDump `json:"speeds"`
+}
+
+// Summarize projects a Result onto the wire format.
+func Summarize(res *sim.Result, includeTraces bool) RunSummary {
+	s := RunSummary{
+		Name:           res.Scenario.Name,
+		Attack:         res.Scenario.Attack.Kind.String(),
+		Defended:       res.Scenario.Defended,
+		Steps:          res.Scenario.Steps,
+		Seed:           res.Scenario.Seed,
+		DetectedAt:     res.DetectedAt,
+		FalsePositives: res.Accuracy.FalsePositives,
+		FalseNegatives: res.Accuracy.FalseNegatives,
+		TruePositives:  res.Accuracy.TruePositives,
+		TrueNegatives:  res.Accuracy.TrueNegatives,
+		MinGapM:        res.MinGap,
+		FinalGapM:      res.FinalGap,
+		FinalSpeedMps:  res.FinalFollowerSpeed,
+		CollisionAt:    res.CollisionAt,
+		EstimateSteps:  res.EstimateSteps,
+		DistRMSEm:      res.EstimateDistRMSE,
+		DistMaxErrM:    res.EstimateDistMaxErr,
+		VelRMSEmps:     res.EstimateVelRMSE,
+		VelMaxErrMps:   res.EstimateVelMaxErr,
+		RLSTimeNs:      res.RLSTime.Nanoseconds(),
+	}
+	if includeTraces {
+		s.Traces = &RunTraces{
+			Distance: res.Distance.Dump(),
+			Velocity: res.Velocity.Dump(),
+			Speeds:   res.Speeds.Dump(),
+		}
+	}
+	return s
+}

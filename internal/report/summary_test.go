@@ -1,0 +1,54 @@
+package report
+
+import (
+	"encoding/json"
+	"testing"
+
+	"safesense/internal/sim"
+)
+
+func TestSummarizeRoundTripsJSON(t *testing.T) {
+	res, err := sim.Run(sim.Fig2aDoS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(res, false)
+	if sum.Traces != nil {
+		t.Fatal("traces must be opt-in")
+	}
+	if sum.DetectedAt != 182 || sum.Attack != "dos" || !sum.Defended {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.FalsePositives != 0 || sum.FalseNegatives != 0 {
+		t.Fatalf("confusion = FP %d FN %d", sum.FalsePositives, sum.FalseNegatives)
+	}
+	b, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunSummary
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != sum {
+		t.Fatal("summary did not survive a JSON round trip")
+	}
+}
+
+func TestSummarizeWithTraces(t *testing.T) {
+	res, err := sim.Run(sim.Fig2bDelay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(res, true)
+	if sum.Traces == nil {
+		t.Fatal("traces requested but absent")
+	}
+	if len(sum.Traces.Distance.Series) == 0 || len(sum.Traces.Speeds.Series) != 2 {
+		t.Fatalf("trace dump shape: %d distance, %d speed series",
+			len(sum.Traces.Distance.Series), len(sum.Traces.Speeds.Series))
+	}
+	if _, err := json.Marshal(sum); err != nil {
+		t.Fatalf("traces must marshal cleanly (NaN-free): %v", err)
+	}
+}

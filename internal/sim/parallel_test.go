@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// canonicalize renders everything deterministic about a Result — traces,
+// detection record, accuracy, and safety metrics — as bytes. RLSTime is
+// wall-clock and deliberately excluded.
+func canonicalize(res *Result) ([]byte, error) {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "name=%s detected=%d collision=%d mingap=%.12g finalgap=%.12g finalspeed=%.12g\n",
+		res.Scenario.Name, res.DetectedAt, res.CollisionAt, res.MinGap, res.FinalGap, res.FinalFollowerSpeed)
+	fmt.Fprintf(&buf, "acc=%+v estSteps=%d rmse=%.12g/%.12g maxerr=%.12g/%.12g\n",
+		res.Accuracy, res.EstimateSteps,
+		res.EstimateDistRMSE, res.EstimateVelRMSE,
+		res.EstimateDistMaxErr, res.EstimateVelMaxErr)
+	for _, ev := range res.Events {
+		fmt.Fprintf(&buf, "%+v\n", ev)
+	}
+	if err := res.Distance.WriteCSV(&buf); err != nil {
+		return nil, err
+	}
+	if err := res.Velocity.WriteCSV(&buf); err != nil {
+		return nil, err
+	}
+	if err := res.Speeds.WriteCSV(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// TestRunParallelDeterminism is the goroutine-safety regression test: N
+// concurrent Run calls over the four paper scenarios must produce results
+// byte-identical to sequential runs. Run under -race this also audits Run
+// for shared mutable state.
+func TestRunParallelDeterminism(t *testing.T) {
+	scenarios := []Scenario{Fig2aDoS(), Fig2bDelay(), Fig3aDoS(), Fig3bDelay()}
+	const replicas = 4 // concurrent copies of each scenario
+
+	// Sequential reference.
+	want := make([][]byte, len(scenarios))
+	for i, s := range scenarios {
+		res, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i], err = canonicalize(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got := make([][]byte, len(scenarios)*replicas)
+	var wg sync.WaitGroup
+	errs := make(chan error, len(got))
+	for r := 0; r < replicas; r++ {
+		for i, s := range scenarios {
+			wg.Add(1)
+			go func(slot int, s Scenario) {
+				defer wg.Done()
+				res, err := Run(s)
+				if err != nil {
+					errs <- err
+					return
+				}
+				b, err := canonicalize(res)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got[slot] = b
+			}(r*len(scenarios)+i, s)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for r := 0; r < replicas; r++ {
+		for i := range scenarios {
+			if !bytes.Equal(got[r*len(scenarios)+i], want[i]) {
+				t.Fatalf("scenario %d replica %d diverged from the sequential run", i, r)
+			}
+		}
+	}
+}

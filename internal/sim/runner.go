@@ -60,6 +60,11 @@ type Result struct {
 	// estimates were produced).
 	EstimateDistRMSE, EstimateVelRMSE float64
 
+	// EstimateDistMaxErr / EstimateVelMaxErr are the worst-case absolute
+	// estimate-vs-truth errors over the same window (zero when no
+	// estimates were produced).
+	EstimateDistMaxErr, EstimateVelMaxErr float64
+
 	// FinalFollowerSpeed and FinalGap snapshot the end state.
 	FinalFollowerSpeed, FinalGap float64
 }
@@ -222,6 +227,8 @@ func Run(s Scenario) (*Result, error) {
 	if len(estD) > 0 {
 		res.EstimateDistRMSE, _ = stats.RMSE(estD, truthD)
 		res.EstimateVelRMSE, _ = stats.RMSE(estV, truthV)
+		res.EstimateDistMaxErr, _ = stats.MaxAbsErr(estD, truthD)
+		res.EstimateVelMaxErr, _ = stats.MaxAbsErr(estV, truthV)
 	}
 	if s.Defended {
 		res.Accuracy = cra.EvaluateAtChallenges(res.Events, func(k int) bool {

@@ -102,3 +102,76 @@ func TestDetectionLatency(t *testing.T) {
 		t.Fatalf("missed detection latency = %d", got)
 	}
 }
+
+func TestPercentile(t *testing.T) {
+	x := []float64{5, 1, 3, 2, 4} // unsorted on purpose
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {90, 4.6},
+	}
+	for _, c := range cases {
+		if got := Percentile(x, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if x[0] != 5 {
+		t.Fatal("Percentile must not modify its input")
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty input should yield NaN")
+	}
+	if !math.IsNaN(Percentile(x, 101)) || !math.IsNaN(Percentile(x, -1)) {
+		t.Fatal("out-of-range p should yield NaN")
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Fatalf("single-element percentile = %v", got)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	got, err := Percentiles([]float64{1, 2, 3, 4, 5}, 50, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 5, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("Percentiles = %v, want %v", got, want)
+		}
+	}
+	if _, err := Percentiles(nil, 50); err == nil {
+		t.Fatal("empty input should fail")
+	}
+	if _, err := Percentiles([]float64{1}, 120); err == nil {
+		t.Fatal("out-of-range p should fail")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0, 1.9, 2, 5, 9.9, 10, 25, -3, math.NaN()} {
+		h.Observe(v)
+	}
+	// Bins: [0,2) [2,4) [4,6) [6,8) [8,10); -3 clamps low, 10 and 25 clamp high.
+	want := []int{3, 1, 1, 0, 3}
+	for i, c := range want {
+		if h.Counts[i] != c {
+			t.Fatalf("Counts = %v, want %v", h.Counts, want)
+		}
+	}
+	if h.N != 8 {
+		t.Fatalf("N = %d, want 8 (NaN ignored)", h.N)
+	}
+	edges := h.BinEdges()
+	if len(edges) != 6 || edges[0] != 0 || edges[5] != 10 || edges[1] != 2 {
+		t.Fatalf("BinEdges = %v", edges)
+	}
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Fatal("zero bins should fail")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Fatal("empty range should fail")
+	}
+}

@@ -4,11 +4,13 @@
 package trace
 
 import (
+	"encoding/csv"
 	"errors"
 	"fmt"
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -146,4 +148,90 @@ func csvEscape(s string) string {
 		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 	}
 	return s
+}
+
+// SeriesDump is the JSON-serializable form of one series.
+type SeriesDump struct {
+	Name string    `json:"name"`
+	T    []int     `json:"t"`
+	Y    []float64 `json:"y"`
+}
+
+// SetDump is the JSON-serializable form of a Set, used by the safesensed
+// HTTP service to ship traces to clients.
+type SetDump struct {
+	Title  string       `json:"title,omitempty"`
+	XLabel string       `json:"x_label,omitempty"`
+	YLabel string       `json:"y_label,omitempty"`
+	Series []SeriesDump `json:"series"`
+}
+
+// Dump converts the set for JSON encoding. NaN samples are skipped — like
+// WriteCSV's empty cells — because JSON has no NaN literal.
+func (st *Set) Dump() SetDump {
+	d := SetDump{Title: st.Title, XLabel: st.XLabel, YLabel: st.YLabel,
+		Series: make([]SeriesDump, 0, len(st.series))}
+	for _, s := range st.series {
+		sd := SeriesDump{Name: s.Name, T: make([]int, 0, len(s.T)), Y: make([]float64, 0, len(s.Y))}
+		for i, v := range s.Y {
+			if math.IsNaN(v) {
+				continue
+			}
+			sd.T = append(sd.T, s.T[i])
+			sd.Y = append(sd.Y, v)
+		}
+		d.Series = append(d.Series, sd)
+	}
+	return d
+}
+
+// ReadCSV parses a Set previously written with WriteCSV: a "t,name,..."
+// header followed by one row per time stamp, empty cells meaning "no
+// sample". Title and axis labels are not stored in the CSV format, so they
+// come back empty. Series order follows the header.
+func ReadCSV(r io.Reader) (*Set, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated manually for a better error
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV header: %w", err)
+	}
+	if len(header) < 2 || header[0] != "t" {
+		return nil, fmt.Errorf("trace: malformed CSV header %q", header)
+	}
+	st := NewSet("", "", "")
+	series := make([]*Series, len(header)-1)
+	for i, name := range header[1:] {
+		if st.Series(name) != nil {
+			return nil, fmt.Errorf("trace: duplicate series %q in CSV header", name)
+		}
+		series[i] = st.Add(name)
+	}
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading CSV line %d: %w", line, err)
+		}
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("trace: CSV line %d has %d cells, header has %d", line, len(row), len(header))
+		}
+		tstamp, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV line %d: bad time stamp %q", line, row[0])
+		}
+		for i, cell := range row[1:] {
+			if cell == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: CSV line %d, series %q: bad value %q", line, series[i].Name, cell)
+			}
+			series[i].Append(tstamp, v)
+		}
+	}
+	return st, nil
 }

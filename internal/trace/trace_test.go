@@ -158,3 +158,108 @@ func TestRenderASCIIConstantSeries(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestReadCSVRoundTrip(t *testing.T) {
+	st := NewSet("round-trip", "t", "v")
+	a := st.Add("alpha")
+	b := st.Add("beta,quoted")
+	c := st.Add("gamma")
+	for k := 0; k < 20; k++ {
+		a.Append(k, float64(k)*0.25)
+		if k%3 == 0 {
+			b.Append(k, -float64(k)) // sparse series → empty cells
+		}
+	}
+	c.Append(5, 1e-7)
+	c.Append(7, 123456.789)
+
+	var sb strings.Builder
+	if err := st.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := st.Names()
+	gotNames := got.Names()
+	if len(gotNames) != len(wantNames) {
+		t.Fatalf("series count = %d, want %d", len(gotNames), len(wantNames))
+	}
+	for i := range wantNames {
+		if gotNames[i] != wantNames[i] {
+			t.Fatalf("series %d = %q, want %q", i, gotNames[i], wantNames[i])
+		}
+		ws, gs := st.Series(wantNames[i]), got.Series(wantNames[i])
+		if gs.Len() != ws.Len() {
+			t.Fatalf("series %q length = %d, want %d", wantNames[i], gs.Len(), ws.Len())
+		}
+		for j := range ws.T {
+			if gs.T[j] != ws.T[j] || gs.Y[j] != ws.Y[j] {
+				t.Fatalf("series %q sample %d = (%d, %g), want (%d, %g)",
+					wantNames[i], j, gs.T[j], gs.Y[j], ws.T[j], ws.Y[j])
+			}
+		}
+	}
+}
+
+func TestReadCSVNaNSkipped(t *testing.T) {
+	// WriteCSV renders NaN as an empty cell; ReadCSV must simply omit the
+	// sample rather than fail.
+	st := NewSet("nan", "t", "v")
+	s := st.Add("x")
+	s.Append(0, 1)
+	s.Append(1, math.NaN())
+	s.Append(2, 3)
+	var sb strings.Builder
+	if err := st.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := got.Series("x")
+	if gs.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (NaN dropped)", gs.Len())
+	}
+	if _, ok := gs.At(1); ok {
+		t.Fatal("NaN sample should be absent")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty input":   "",
+		"bad header":    "x,alpha\n0,1\n",
+		"no series":     "t\n0\n",
+		"dup series":    "t,a,a\n0,1,2\n",
+		"bad timestamp": "t,a\nzero,1\n",
+		"bad value":     "t,a\n0,one\n",
+		"short row":     "t,a,b\n0,1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestSetDump(t *testing.T) {
+	st := NewSet("d", "t", "v")
+	a := st.Add("a")
+	a.Append(0, 1)
+	a.Append(1, math.NaN())
+	a.Append(2, 2)
+	st.Add("empty")
+	d := st.Dump()
+	if d.Title != "d" || len(d.Series) != 2 {
+		t.Fatalf("Dump = %+v", d)
+	}
+	if len(d.Series[0].T) != 2 || d.Series[0].Y[1] != 2 {
+		t.Fatalf("NaN not skipped: %+v", d.Series[0])
+	}
+	if d.Series[1].Name != "empty" || len(d.Series[1].T) != 0 {
+		t.Fatalf("empty series dump = %+v", d.Series[1])
+	}
+}
