@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench check
+.PHONY: all build test race vet fmt-check bench bench-smoke check
 
 all: check
 
@@ -24,5 +24,10 @@ fmt-check:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-smoke compiles and runs every benchmark exactly once so they
+# can't bit-rot; CI runs this on every push.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 check: build vet fmt-check test race

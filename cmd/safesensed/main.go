@@ -1,29 +1,38 @@
 // Command safesensed serves the safesense simulator over HTTP/JSON: single
-// scenario runs, asynchronous Monte Carlo campaign sweeps, and health.
+// scenario runs, asynchronous Monte Carlo campaign sweeps, metrics, and
+// health.
 //
 // Endpoints:
 //
 //	GET  /healthz             liveness + store occupancy
+//	GET  /metrics             Prometheus text exposition
 //	POST /v1/run              run one scenario, return the JSON summary
 //	POST /v1/campaigns        submit a sweep; returns {"id": ...} (202)
-//	GET  /v1/campaigns/{id}   poll progress; summary appears when done
+//	GET  /v1/campaigns/{id}   poll progress (+ runs/sec and ETA while
+//	                          running); summary appears when done
 //	DELETE /v1/campaigns/{id} cancel a running sweep
 //
 // Usage:
 //
 //	safesensed [-addr :8077] [-workers N] [-max-campaigns N] [-max-jobs N]
+//	           [-max-body-bytes N] [-log-format text|json] [-pprof-addr ADDR]
 //
 // The service is stdlib-only, keeps campaigns in a bounded in-memory
-// store, and shuts down gracefully on SIGINT/SIGTERM.
+// store, logs structured records via log/slog, and shuts down gracefully
+// on SIGINT/SIGTERM. When -pprof-addr is set, net/http/pprof and
+// /debug/vars are served on that address on a separate mux, so profiling
+// is never exposed on the public listener.
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,26 +44,61 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size per campaign (0 = GOMAXPROCS)")
 	maxCampaigns := flag.Int("max-campaigns", 64, "bounded campaign store size")
 	maxJobs := flag.Int("max-jobs", 100000, "reject campaigns that expand beyond this many runs")
+	maxBodyBytes := flag.Int64("max-body-bytes", 1<<20, "reject request bodies larger than this (413)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof and /debug/vars on this address (empty = disabled; keep it private)")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *maxCampaigns, *maxJobs); err != nil {
+	if err := run(*addr, *pprofAddr, *logFormat, *workers, *maxCampaigns, *maxJobs, *maxBodyBytes); err != nil {
 		fmt.Fprintln(os.Stderr, "safesensed:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, maxCampaigns, maxJobs int) error {
+// newLogger builds the slog logger for the chosen -log-format.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("-log-format must be text or json, got %q", format)
+	}
+}
+
+// pprofMux builds the private profiling mux: net/http/pprof plus expvar
+// (where the obs registry is published).
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+func run(addr, pprofAddr, logFormat string, workers, maxCampaigns, maxJobs int, maxBodyBytes int64) error {
 	if maxCampaigns < 1 {
 		return fmt.Errorf("-max-campaigns must be >= 1, got %d", maxCampaigns)
 	}
 	if maxJobs < 1 {
 		return fmt.Errorf("-max-jobs must be >= 1, got %d", maxJobs)
 	}
-	logger := log.New(os.Stderr, "", log.LstdFlags)
+	if maxBodyBytes < 1 {
+		return fmt.Errorf("-max-body-bytes must be >= 1, got %d", maxBodyBytes)
+	}
+	logger, err := newLogger(logFormat)
+	if err != nil {
+		return err
+	}
 	srv := NewServer(Config{
 		Workers:      workers,
 		MaxCampaigns: maxCampaigns,
 		MaxJobs:      maxJobs,
+		MaxBodyBytes: maxBodyBytes,
 		Log:          logger,
 	})
 	hs := &http.Server{
@@ -66,9 +110,24 @@ func run(addr string, workers, maxCampaigns, maxJobs int) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if pprofAddr != "" {
+		ps := &http.Server{
+			Addr:              pprofAddr,
+			Handler:           pprofMux(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			logger.Info("pprof listening", "addr", pprofAddr)
+			if err := ps.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof server", "error", err.Error())
+			}
+		}()
+		defer ps.Close()
+	}
+
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("safesensed: listening on %s", addr)
+		logger.Info("listening", "addr", addr)
 		errc <- hs.ListenAndServe()
 	}()
 
@@ -77,7 +136,7 @@ func run(addr string, workers, maxCampaigns, maxJobs int) error {
 		return err
 	case <-ctx.Done():
 	}
-	logger.Print("safesensed: shutting down")
+	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"safesense/internal/obs"
+)
+
+// httpMetrics are the request-level families the middleware populates.
+type httpMetrics struct {
+	requests *obs.CounterVec   // method, route, status
+	latency  *obs.HistogramVec // method, route
+	inFlight *obs.Gauge
+	panics   *obs.Counter
+}
+
+func newHTTPMetrics(reg *obs.Registry) *httpMetrics {
+	return &httpMetrics{
+		requests: reg.Counter("safesense_http_requests_total",
+			"HTTP requests served, by method, route, and status code.",
+			"method", "route", "status"),
+		latency: reg.Histogram("safesense_http_request_seconds",
+			"HTTP request latency, by method and route.",
+			obs.DefBuckets, "method", "route"),
+		inFlight: reg.Gauge("safesense_http_in_flight",
+			"Requests currently being served.").With(),
+		panics: reg.Counter("safesense_http_panics_total",
+			"Handler panics recovered by the middleware (served as 500).").With(),
+	}
+}
+
+// routePattern collapses request paths onto the route set so metric label
+// cardinality stays bounded no matter what clients send.
+func routePattern(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case p == "/healthz" || p == "/metrics" || p == "/v1/run" || p == "/v1/campaigns":
+		return p
+	case strings.HasPrefix(p, "/v1/campaigns/"):
+		return "/v1/campaigns/{id}"
+	default:
+		return "other"
+	}
+}
+
+// statusRecorder captures the status code and payload size a handler
+// writes, for the request log and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	n, err := sr.ResponseWriter.Write(b)
+	sr.bytes += n
+	return n, err
+}
+
+// withObservability wraps the router with request metrics, structured
+// request logs, and panic recovery (panic → 500 + counter; the
+// connection-abort sentinel is re-raised for net/http to handle).
+func (s *Server) withObservability(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		route := routePattern(r)
+		start := time.Now()
+		s.metrics.inFlight.Add(1)
+		defer func() {
+			s.metrics.inFlight.Add(-1)
+			if p := recover(); p != nil {
+				if p == http.ErrAbortHandler {
+					panic(p)
+				}
+				s.metrics.panics.Inc()
+				if rec.status == 0 {
+					writeError(rec, http.StatusInternalServerError, fmt.Errorf("internal error"))
+				}
+				s.cfg.Log.Error("handler panic",
+					"method", r.Method, "path", r.URL.Path, "panic", fmt.Sprint(p))
+			}
+			status := rec.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			elapsed := time.Since(start)
+			s.metrics.requests.With(r.Method, route, strconv.Itoa(status)).Inc()
+			s.metrics.latency.With(r.Method, route).ObserveDuration(elapsed)
+			s.cfg.Log.Info("request",
+				"method", r.Method, "path", r.URL.Path, "route", route,
+				"status", status, "bytes", rec.bytes,
+				"duration_ms", float64(elapsed.Nanoseconds())/1e6)
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}

@@ -5,12 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
 
 	"safesense/internal/campaign"
+	"safesense/internal/obs"
 	"safesense/internal/report"
 	"safesense/internal/sim"
 )
@@ -26,8 +27,16 @@ type Config struct {
 	// MaxJobs rejects campaign specs that expand beyond this many runs
 	// (zero means 100000).
 	MaxJobs int
-	// Log receives request/lifecycle lines (nil means the default logger).
-	Log *log.Logger
+	// MaxBodyBytes bounds request bodies on the POST endpoints; larger
+	// bodies get 413 (zero means 1 MiB).
+	MaxBodyBytes int64
+	// Log receives structured request and campaign lifecycle records
+	// (nil means slog.Default()).
+	Log *slog.Logger
+	// Metrics is the registry behind GET /metrics and the HTTP
+	// instrumentation (nil means obs.Default(), which also carries the
+	// simulator and campaign-engine families).
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -37,8 +46,14 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs == 0 {
 		c.MaxJobs = 100000
 	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
 	if c.Log == nil {
-		c.Log = log.Default()
+		c.Log = slog.Default()
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.Default()
 	}
 	return c
 }
@@ -60,6 +75,11 @@ type entry struct {
 	Done      int
 	CreatedAt time.Time
 
+	// RunsPerSec and ETASeconds mirror the engine's latest Stats while
+	// the campaign runs.
+	RunsPerSec float64
+	ETASeconds float64
+
 	Summary *campaign.Summary
 	Err     string
 
@@ -70,10 +90,12 @@ type entry struct {
 func (e *entry) terminal() bool { return e.Status != statusRunning }
 
 // Server is the safesensed HTTP service: single runs, async campaign
-// sweeps over a bounded in-memory store, and health.
+// sweeps over a bounded in-memory store, metrics, and health.
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
+	cfg     Config
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the observability middleware
+	metrics *httpMetrics
 
 	mu        sync.Mutex
 	campaigns map[string]*entry
@@ -91,16 +113,19 @@ func NewServer(cfg Config) *Server {
 		mux:       http.NewServeMux(),
 		campaigns: make(map[string]*entry),
 	}
+	s.metrics = newHTTPMetrics(s.cfg.Metrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.Handle("GET /metrics", s.cfg.Metrics.Handler())
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
 	s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancel)
+	s.handler = s.withObservability(s.mux)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // Drain blocks until every in-flight campaign goroutine has exited.
 func (s *Server) Drain() { s.wg.Wait() }
@@ -115,14 +140,26 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
-// decodeBody strictly decodes one JSON object into v.
-func decodeBody(r *http.Request, v any) error {
+// decodeBody strictly decodes one JSON object into v, bounding the body
+// at cfg.MaxBodyBytes.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("decoding request body: %w", err)
 	}
 	return nil
+}
+
+// decodeStatus maps a decodeBody failure to its HTTP status: 413 when the
+// body blew the size cap, 400 otherwise.
+func decodeStatus(err error) int {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -153,8 +190,8 @@ type RunRequest struct {
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req RunRequest
-	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, decodeStatus(err), err)
 		return
 	}
 	scenario, err := req.Point.Scenario()
@@ -192,8 +229,8 @@ type SubmitResponse struct {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req SubmitRequest
-	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, decodeStatus(err), err)
 		return
 	}
 	jobs, err := req.Spec.NumJobs()
@@ -236,7 +273,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.wg.Add(1)
 	go s.runCampaign(ctx, e, workers, req.DiscardOutcomes)
 
-	s.cfg.Log.Printf("safesensed: campaign %s submitted (%d jobs)", e.ID, jobs)
+	s.cfg.Log.Info("campaign submitted",
+		"id", e.ID, "jobs", jobs, "workers", workers, "name", req.Spec.Name)
 	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: e.ID, Jobs: jobs, URL: "/v1/campaigns/" + e.ID})
 }
 
@@ -262,9 +300,11 @@ func (s *Server) runCampaign(ctx context.Context, e *entry, workers int, discard
 	sum, err := campaign.Run(ctx, e.Spec, campaign.Options{
 		Workers:         workers,
 		DiscardOutcomes: discard,
-		OnProgress: func(done, total int) {
+		OnStats: func(st campaign.Stats) {
 			s.mu.Lock()
-			e.Done = done
+			e.Done = st.Done
+			e.RunsPerSec = st.RunsPerSec
+			e.ETASeconds = st.ETA.Seconds()
 			s.mu.Unlock()
 		},
 	})
@@ -282,10 +322,23 @@ func (s *Server) runCampaign(ctx context.Context, e *entry, workers int, discard
 		e.Done = e.Jobs
 		e.Summary = sum
 	}
-	s.cfg.Log.Printf("safesensed: campaign %s %s", e.ID, e.Status)
+	attrs := []any{
+		"id", e.ID, "status", e.Status, "done", e.Done, "jobs", e.Jobs,
+		"elapsed_seconds", time.Since(e.CreatedAt).Seconds(),
+	}
+	if e.Summary != nil {
+		attrs = append(attrs, "runs_per_sec", e.Summary.RunsPerSec)
+	}
+	if e.Err != "" {
+		attrs = append(attrs, "error", e.Err)
+	}
+	s.cfg.Log.Info("campaign finished", attrs...)
 }
 
 // StatusResponse reports campaign progress and, once done, the summary.
+// RunsPerSec and ETASeconds are present while the campaign is running
+// (derived from the engine's own Stats); once done, the summary carries
+// the final throughput.
 type StatusResponse struct {
 	ID             string            `json:"id"`
 	Status         string            `json:"status"`
@@ -293,6 +346,8 @@ type StatusResponse struct {
 	Done           int               `json:"done"`
 	CreatedAt      time.Time         `json:"created_at"`
 	ElapsedSeconds float64           `json:"elapsed_seconds"`
+	RunsPerSec     float64           `json:"runs_per_sec,omitempty"`
+	ETASeconds     float64           `json:"eta_seconds,omitempty"`
 	Error          string            `json:"error,omitempty"`
 	Summary        *campaign.Summary `json:"summary,omitempty"`
 }
@@ -311,6 +366,10 @@ func (s *Server) statusLocked(e *entry) StatusResponse {
 		resp.ElapsedSeconds = e.Summary.ElapsedSeconds
 	} else {
 		resp.ElapsedSeconds = time.Since(e.CreatedAt).Seconds()
+	}
+	if !e.terminal() {
+		resp.RunsPerSec = e.RunsPerSec
+		resp.ETASeconds = e.ETASeconds
 	}
 	return resp
 }

@@ -5,12 +5,15 @@
 //
 //	safesim [-attack none|dos|delay] [-defended] [-steps N] [-seed S]
 //	        [-offset M] [-onset K] [-leader const|phased] [-csv FILE]
+//	        [-timing]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"safesense/internal/attack"
 	"safesense/internal/sim"
@@ -28,6 +31,7 @@ func main() {
 	csvPath := flag.String("csv", "", "write the distance trace set as CSV to this file")
 	width := flag.Int("width", 96, "plot width")
 	height := flag.Int("height", 20, "plot height")
+	timing := flag.Bool("timing", false, "print the per-phase timing breakdown next to the summary")
 	flag.Parse()
 
 	if err := validateFlags(*attackKind, *leader, *steps, *onset, *offset, *width, *height); err != nil {
@@ -35,7 +39,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*attackKind, *leader, *csvPath, *defended, *steps, *seed, *offset, *onset, *width, *height); err != nil {
+	if err := run(*attackKind, *leader, *csvPath, *defended, *timing, *steps, *seed, *offset, *onset, *width, *height); err != nil {
 		fmt.Fprintln(os.Stderr, "safesim:", err)
 		os.Exit(1)
 	}
@@ -72,7 +76,7 @@ func validateFlags(attackKind, leader string, steps, onset int, offset float64, 
 	return nil
 }
 
-func run(attackKind, leader, csvPath string, defended bool, steps int, seed int64, offset float64, onset, width, height int) error {
+func run(attackKind, leader, csvPath string, defended, timing bool, steps int, seed int64, offset float64, onset, width, height int) error {
 	var s sim.Scenario
 	switch leader {
 	case "const":
@@ -99,7 +103,9 @@ func run(attackKind, leader, csvPath string, defended bool, steps int, seed int6
 		return fmt.Errorf("unknown attack %q", attackKind)
 	}
 
+	start := time.Now()
 	res, err := sim.Run(s)
+	wall := time.Since(start)
 	if err != nil {
 		return err
 	}
@@ -113,6 +119,9 @@ func run(attackKind, leader, csvPath string, defended bool, steps int, seed int6
 	}
 	fmt.Println()
 	printSummary(res)
+	if timing {
+		printTiming(os.Stdout, res.Phases, wall)
+	}
 
 	if csvPath != "" {
 		f, err := os.Create(csvPath)
@@ -144,4 +153,22 @@ func printSummary(res *sim.Result) {
 	}
 	fmt.Printf("; final gap %.2f m, final follower speed %.2f m/s\n",
 		res.FinalGap, res.FinalFollowerSpeed)
+}
+
+// printTiming renders the per-phase span breakdown (-timing). Each line
+// is the phase's cumulative wall time over the run, its span count, and
+// its share of the instrumented total; untimed bookkeeping is the gap
+// between that total and the run's wall clock.
+func printTiming(w io.Writer, phases []sim.PhaseTiming, wall time.Duration) {
+	instrumented := sim.TotalSeconds(phases)
+	fmt.Fprintf(w, "timing: wall %.3f ms, instrumented %.3f ms\n",
+		wall.Seconds()*1e3, instrumented*1e3)
+	for _, p := range phases {
+		share := 0.0
+		if instrumented > 0 {
+			share = 100 * p.Seconds / instrumented
+		}
+		fmt.Fprintf(w, "  %-16s %10.3f ms  %5.1f%%  calls=%d\n",
+			p.Phase, p.Seconds*1e3, share, p.Calls)
+	}
 }

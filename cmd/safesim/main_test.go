@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"safesense/internal/sim"
+)
 
 func TestValidateFlags(t *testing.T) {
 	ok := func(attack, leader string, steps, onset int, offset float64) {
@@ -31,5 +37,29 @@ func TestValidateFlags(t *testing.T) {
 
 	if err := validateFlags("dos", "const", 301, 182, 6, 1, 20); err == nil {
 		t.Error("tiny plot should be rejected")
+	}
+}
+
+func TestPrintTiming(t *testing.T) {
+	res, err := sim.Run(sim.Fig2aDoS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	printTiming(&sb, res.Phases, 5*time.Millisecond)
+	out := sb.String()
+	if !strings.HasPrefix(out, "timing: wall 5.000 ms") {
+		t.Errorf("timing header missing:\n%s", out)
+	}
+	for _, phase := range []string{
+		sim.PhaseRadarSynthesis, sim.PhaseBeatExtraction, sim.PhaseCRACheck,
+		sim.PhaseRLSEstimation, sim.PhaseVehicleStep,
+	} {
+		if !strings.Contains(out, phase) {
+			t.Errorf("timing output missing phase %q:\n%s", phase, out)
+		}
+	}
+	if !strings.Contains(out, "calls=301") {
+		t.Errorf("timing output missing per-step call counts:\n%s", out)
 	}
 }

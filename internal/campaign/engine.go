@@ -19,6 +19,10 @@ type Options struct {
 	// (done, total). Calls are serialized; the callback must not block
 	// for long or it throttles the pool.
 	OnProgress func(done, total int)
+	// OnStats, when non-nil, is called after every completed job with
+	// cumulative timing-derived stats (runs/sec, ETA). Same serialization
+	// contract as OnProgress.
+	OnStats func(Stats)
 	// DiscardOutcomes drops the per-job outcome list from the summary,
 	// keeping only the aggregate — for very large campaigns where the
 	// O(jobs) payload is unwanted.
@@ -117,6 +121,9 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Summary, error) {
 		workers = len(jobs)
 	}
 
+	metricActiveCampaigns.With().Add(1)
+	defer metricActiveCampaigns.With().Add(-1)
+
 	start := time.Now()
 	outcomes := make([]Outcome, len(jobs))
 
@@ -126,13 +133,19 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Summary, error) {
 	var progressMu sync.Mutex
 	done := 0
 	report := func() {
-		if opt.OnProgress == nil {
+		metricJobsDone.With().Inc()
+		if opt.OnProgress == nil && opt.OnStats == nil {
 			return
 		}
 		progressMu.Lock()
 		defer progressMu.Unlock()
 		done++
-		opt.OnProgress(done, len(jobs))
+		if opt.OnProgress != nil {
+			opt.OnProgress(done, len(jobs))
+		}
+		if opt.OnStats != nil {
+			opt.OnStats(statsAt(done, len(jobs), time.Since(start)))
+		}
 	}
 
 	runCtx, cancel := context.WithCancel(ctx)
@@ -142,17 +155,29 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Summary, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range feed {
+			for {
+				idle := time.Now()
+				j, ok := <-feed
+				if !ok {
+					return
+				}
+				metricQueueWaitSeconds.With().ObserveDuration(time.Since(idle))
+
+				busy := time.Now()
 				s, err := j.Point.Scenario()
 				if err == nil {
 					var res *sim.Result
 					res, err = sim.Run(s)
 					if err == nil {
 						outcomes[j.Index] = outcomeOf(j, res)
+						jobTime := time.Since(busy)
+						metricJobSeconds.With().ObserveDuration(jobTime)
+						metricWorkerBusySeconds.With().Add(jobTime.Seconds())
 						report()
 						continue
 					}
 				}
+				metricJobsFailed.With().Inc()
 				select {
 				case errc <- fmt.Errorf("campaign: job %d (%s): %w", j.Index, j.Point.Label(), err):
 				default:

@@ -1,0 +1,54 @@
+package obs
+
+import "testing"
+
+// BenchmarkObsCounter pins the counter hot path (cached child, atomic
+// add); the acceptance bar is < 100 ns/op.
+func BenchmarkObsCounter(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "bench", "k").With("v")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Value() != float64(b.N) {
+		b.Fatalf("count = %g", c.Value())
+	}
+}
+
+// BenchmarkObsCounterWith includes the label resolution (sync.Map load)
+// that callers pay when they do not cache the child.
+func BenchmarkObsCounterWith(b *testing.B) {
+	r := NewRegistry()
+	cv := r.Counter("bench_with_total", "bench", "k")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cv.With("v").Inc()
+	}
+}
+
+// BenchmarkObsHistogram pins Observe: bucket search + two atomic adds.
+func BenchmarkObsHistogram(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", "bench", nil, "k").With("v")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.003)
+	}
+	if h.Count() != uint64(b.N) {
+		b.Fatalf("count = %d", h.Count())
+	}
+}
+
+func BenchmarkObsCounterParallel(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_par_total", "bench").With()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}

@@ -1,0 +1,51 @@
+// Package obs is the stdlib-only observability layer: a metrics registry
+// (atomic counters, gauges, fixed-bucket histograms with labeled
+// families), Prometheus text-format exposition, expvar publication, and a
+// tiny Span/Timer API for phase timing.
+//
+// The hot path is lock-free: resolving a labeled child with With() is a
+// sync.Map read, and Inc/Add/Observe are atomic operations, so callers
+// that cache the child pay only a few nanoseconds per event (pinned by
+// BenchmarkObsCounter / BenchmarkObsHistogram).
+//
+// A process-wide Default() registry carries the safesense_* families the
+// simulator, the campaign engine, and safesensed register at init; it is
+// also published to expvar under "safesense_metrics" so /debug/vars shows
+// the same numbers.
+package obs
+
+import (
+	"expvar"
+	"sync"
+)
+
+// DefBuckets spans 100µs .. 10s, suiting both per-request latencies and
+// per-run phase totals.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+var (
+	defaultOnce sync.Once
+	defaultReg  *Registry
+)
+
+// Default returns the process-wide registry, published to expvar on first
+// use.
+func Default() *Registry {
+	defaultOnce.Do(func() {
+		defaultReg = NewRegistry()
+		defaultReg.PublishExpvar("safesense_metrics")
+	})
+	return defaultReg
+}
+
+// PublishExpvar exposes the registry's snapshot as an expvar variable (it
+// shows up in /debug/vars). Publishing the same name twice is a no-op.
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

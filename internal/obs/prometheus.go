@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format (version 0.0.4), families sorted by name and children by label
+// values, so output is stable for golden tests.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	families := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		families = append(families, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(families, func(i, j int) bool { return families[i].name < families[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range families {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+
+		type kv struct {
+			key string
+			c   any
+		}
+		var kids []kv
+		f.children.Range(func(k, v any) bool {
+			kids = append(kids, kv{k.(string), v})
+			return true
+		})
+		sort.Slice(kids, func(i, j int) bool { return kids[i].key < kids[j].key })
+
+		for _, kid := range kids {
+			var values []string
+			if len(f.labels) > 0 {
+				values = strings.Split(kid.key, keySep)
+			}
+			switch c := kid.c.(type) {
+			case *Counter:
+				writeSample(bw, f.name, "", f.labels, values, "", "", c.Value())
+			case *Gauge:
+				writeSample(bw, f.name, "", f.labels, values, "", "", c.Value())
+			case *Histogram:
+				var cum uint64
+				for i := range c.counts {
+					cum += c.counts[i].Load()
+					le := "+Inf"
+					if i < len(c.upper) {
+						le = formatFloat(c.upper[i])
+					}
+					writeSample(bw, f.name, "_bucket", f.labels, values, "le", le, float64(cum))
+				}
+				writeSample(bw, f.name, "_sum", f.labels, values, "", "", c.Sum())
+				writeSample(bw, f.name, "_count", f.labels, values, "", "", float64(cum))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one `name_suffix{labels,extra="v"} value` line.
+func writeSample(bw *bufio.Writer, name, suffix string, labels, values []string, extraLabel, extraValue string, v float64) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if len(labels) > 0 || extraLabel != "" {
+		bw.WriteByte('{')
+		first := true
+		for i, l := range labels {
+			if !first {
+				bw.WriteByte(',')
+			}
+			first = false
+			bw.WriteString(l)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(values[i]))
+			bw.WriteByte('"')
+		}
+		if extraLabel != "" {
+			if !first {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraLabel)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(extraValue))
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+// Handler serves the registry at GET /metrics in text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,59 @@
+package obs
+
+import "time"
+
+// Timer accumulates wall time over repeated Spans of one named phase.
+// It is a plain accumulator for single-goroutine use (one Timer per phase
+// per run); flush the total into a shared Histogram when the run ends.
+type Timer struct {
+	name  string
+	total time.Duration
+	calls int
+}
+
+// NewTimer returns a zeroed phase timer.
+func NewTimer(name string) *Timer { return &Timer{name: name} }
+
+// Name returns the phase name.
+func (t *Timer) Name() string { return t.name }
+
+// Total returns the accumulated wall time.
+func (t *Timer) Total() time.Duration { return t.total }
+
+// Calls returns how many spans have ended.
+func (t *Timer) Calls() int { return t.calls }
+
+// Reset zeroes the accumulator.
+func (t *Timer) Reset() { t.total, t.calls = 0, 0 }
+
+// Start opens a span; End it to accumulate.
+func (t *Timer) Start() Span { return Span{t: t, start: time.Now()} }
+
+// Span measures one region of code. The zero Span is inert: End returns 0
+// and records nothing.
+type Span struct {
+	t     *Timer
+	h     *Histogram
+	start time.Time
+}
+
+// StartSpan opens a span that records its duration (in seconds) into h
+// when ended; h may be nil, which only measures.
+func StartSpan(h *Histogram) Span { return Span{h: h, start: time.Now()} }
+
+// End closes the span, accumulates into its Timer and/or Histogram, and
+// returns the elapsed duration.
+func (s Span) End() time.Duration {
+	if s.start.IsZero() {
+		return 0
+	}
+	d := time.Since(s.start)
+	if s.t != nil {
+		s.t.total += d
+		s.t.calls++
+	}
+	if s.h != nil {
+		s.h.Observe(d.Seconds())
+	}
+	return d
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"safesense/internal/obs"
+)
+
+// Phase names for the per-run timing breakdown. These are the label
+// values of the safesense_sim_phase_seconds histogram and the names
+// printed by safesim -timing.
+const (
+	PhaseRadarSynthesis = "radar_synthesis"
+	PhaseBeatExtraction = "beat_extraction"
+	PhaseCRACheck       = "cra_check"
+	PhaseRLSEstimation  = "rls_estimation"
+	PhaseVehicleStep    = "vehicle_step"
+)
+
+var (
+	metricRuns = obs.Default().Counter(
+		"safesense_sim_runs_total", "Completed simulation runs.")
+	metricPhaseSeconds = obs.Default().Histogram(
+		"safesense_sim_phase_seconds",
+		"Cumulative wall time one simulation run spent in each phase.",
+		obs.DefBuckets, "phase")
+)
+
+// PhaseTiming reports the cumulative wall time and span count one run
+// spent in a named phase.
+type PhaseTiming struct {
+	Phase   string  `json:"phase"`
+	Calls   int     `json:"calls"`
+	Seconds float64 `json:"seconds"`
+}
+
+// recordPhases projects the run's timers onto Result.Phases and the
+// process-wide metrics. Phases that never ran (e.g. beat extraction on
+// the closed-form pipeline, RLS when undefended) are kept in the
+// breakdown with zero calls but not observed into the histogram, so the
+// per-phase distributions only contain runs that exercised the phase.
+func recordPhases(timers []*obs.Timer) []PhaseTiming {
+	metricRuns.With().Inc()
+	out := make([]PhaseTiming, 0, len(timers))
+	for _, t := range timers {
+		out = append(out, PhaseTiming{
+			Phase:   t.Name(),
+			Calls:   t.Calls(),
+			Seconds: t.Total().Seconds(),
+		})
+		if t.Calls() > 0 {
+			metricPhaseSeconds.With(t.Name()).Observe(t.Total().Seconds())
+		}
+	}
+	return out
+}
+
+// TotalSeconds sums a phase breakdown (instrumented time only; the run's
+// wall clock also covers untimed bookkeeping).
+func TotalSeconds(phases []PhaseTiming) float64 {
+	var s float64
+	for _, p := range phases {
+		s += p.Seconds
+	}
+	return s
+}

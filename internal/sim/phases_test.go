@@ -1,0 +1,89 @@
+package sim
+
+import "testing"
+
+// phaseByName indexes a breakdown for assertions.
+func phaseByName(t *testing.T, phases []PhaseTiming, name string) PhaseTiming {
+	t.Helper()
+	for _, p := range phases {
+		if p.Phase == name {
+			return p
+		}
+	}
+	t.Fatalf("phase %q missing from %v", name, phases)
+	return PhaseTiming{}
+}
+
+func TestRunPhaseBreakdownFastPipeline(t *testing.T) {
+	res, err := Run(Fig2aDoS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 5 {
+		t.Fatalf("phases = %d, want 5 (%v)", len(res.Phases), res.Phases)
+	}
+	steps := res.Scenario.Steps
+
+	radar := phaseByName(t, res.Phases, PhaseRadarSynthesis)
+	if radar.Calls != steps {
+		t.Errorf("radar synthesis calls = %d, want %d", radar.Calls, steps)
+	}
+	veh := phaseByName(t, res.Phases, PhaseVehicleStep)
+	if veh.Calls != steps {
+		t.Errorf("vehicle step calls = %d, want %d", veh.Calls, steps)
+	}
+	cra := phaseByName(t, res.Phases, PhaseCRACheck)
+	if cra.Calls != steps {
+		t.Errorf("cra check calls = %d, want %d", cra.Calls, steps)
+	}
+	// The closed-form pipeline has no beat-spectrum estimator.
+	if ext := phaseByName(t, res.Phases, PhaseBeatExtraction); ext.Calls != 0 {
+		t.Errorf("beat extraction calls = %d, want 0 on the fast pipeline", ext.Calls)
+	}
+	// A defended DoS run trains and free-runs the RLS predictor, and the
+	// span total must cover the separately tracked RLSTime.
+	rls := phaseByName(t, res.Phases, PhaseRLSEstimation)
+	if rls.Calls == 0 {
+		t.Error("rls estimation never ran on a defended run")
+	}
+	if rls.Seconds < res.RLSTime.Seconds() {
+		t.Errorf("rls phase %.9fs < RLSTime %.9fs", rls.Seconds, res.RLSTime.Seconds())
+	}
+	if total := TotalSeconds(res.Phases); total <= 0 {
+		t.Errorf("total instrumented time = %g", total)
+	}
+}
+
+func TestRunPhaseBreakdownSignalPipeline(t *testing.T) {
+	s := Fig2aDoS()
+	s.SignalLevel = true
+	s.Steps = 40
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := phaseByName(t, res.Phases, PhaseBeatExtraction)
+	if ext.Calls != s.Steps {
+		t.Errorf("beat extraction calls = %d, want %d", ext.Calls, s.Steps)
+	}
+	radar := phaseByName(t, res.Phases, PhaseRadarSynthesis)
+	if radar.Calls != s.Steps {
+		t.Errorf("radar synthesis calls = %d, want %d", radar.Calls, s.Steps)
+	}
+}
+
+func TestRunPhaseBreakdownUndefended(t *testing.T) {
+	s := Fig2aDoS()
+	s.Defended = false
+	s.Steps = 40
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cra := phaseByName(t, res.Phases, PhaseCRACheck); cra.Calls != 0 {
+		t.Errorf("cra calls = %d on an undefended run", cra.Calls)
+	}
+	if rls := phaseByName(t, res.Phases, PhaseRLSEstimation); rls.Calls != 0 {
+		t.Errorf("rls calls = %d on an undefended run", rls.Calls)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"safesense/internal/cra"
 	"safesense/internal/estimate"
 	"safesense/internal/noise"
+	"safesense/internal/obs"
 	"safesense/internal/radar"
 	"safesense/internal/stats"
 	"safesense/internal/trace"
@@ -67,6 +68,11 @@ type Result struct {
 
 	// FinalFollowerSpeed and FinalGap snapshot the end state.
 	FinalFollowerSpeed, FinalGap float64
+
+	// Phases breaks the run's instrumented wall time into the pipeline
+	// phases (see the Phase* constants); cumulative per run, also fed
+	// into the safesense_sim_phase_seconds histogram.
+	Phases []PhaseTiming
 }
 
 // Run executes the scenario.
@@ -79,7 +85,12 @@ func Run(s Scenario) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	measure, threshold, err := buildMeasurePipeline(s, atk, src)
+	tRadar := obs.NewTimer(PhaseRadarSynthesis)
+	tExtract := obs.NewTimer(PhaseBeatExtraction)
+	tCRA := obs.NewTimer(PhaseCRACheck)
+	tRLS := obs.NewTimer(PhaseRLSEstimation)
+	tVehicle := obs.NewTimer(PhaseVehicleStep)
+	measure, threshold, err := buildMeasurePipeline(s, atk, src, tRadar, tExtract)
 	if err != nil {
 		return nil, err
 	}
@@ -150,7 +161,9 @@ func Run(s Scenario) (*Result, error) {
 		useD, useV := m.Distance, m.RelVelocity
 		underAttack := false
 		if s.Defended {
+			craSpan := tCRA.Start()
 			ev := det.Step(m)
+			craSpan.End()
 			res.Events = append(res.Events, ev)
 			if ev.Detected && res.DetectedAt < 0 {
 				res.DetectedAt = k
@@ -173,9 +186,9 @@ func Run(s Scenario) (*Result, error) {
 		case s.Defended && underAttack:
 			if pred.Ready() {
 				// Algorithm 2 line 11: estimate for the attack duration.
-				start := time.Now()
+				sp := tRLS.Start()
 				useD, useV = pred.Predict(follower.Velocity)
-				res.RLSTime += time.Since(start)
+				res.RLSTime += sp.End()
 				res.EstimateSteps++
 				dEst.Append(k, useD)
 				vEst.Append(k, useV)
@@ -201,17 +214,20 @@ func Run(s Scenario) (*Result, error) {
 		default:
 			// Accepted measurement: train the predictor on it.
 			if s.Defended {
-				start := time.Now()
-				if err := pred.Observe(m.Distance, m.RelVelocity, follower.Velocity); err != nil {
+				sp := tRLS.Start()
+				err := pred.Observe(m.Distance, m.RelVelocity, follower.Velocity)
+				res.RLSTime += sp.End()
+				if err != nil {
 					return nil, fmt.Errorf("sim: predictor: %w", err)
 				}
-				res.RLSTime += time.Since(start)
 			}
 		}
 		heldD, heldV = useD, useV
 
+		vehSpan := tVehicle.Start()
 		_, aF := ctl.Step(useD, useV, follower.Velocity, true)
 		follower = follower.Step(aF, 1)
+		vehSpan.End()
 
 		gap := vehicle.Gap(leader, follower)
 		if gap < res.MinGap {
@@ -235,6 +251,7 @@ func Run(s Scenario) (*Result, error) {
 			return atk.Active(k)
 		})
 	}
+	res.Phases = recordPhases([]*obs.Timer{tRadar, tExtract, tCRA, tRLS, tVehicle})
 	return res, nil
 }
 
@@ -261,15 +278,19 @@ type measureFunc func(k int, d, dv float64) radar.Measurement
 // (radar.FrontEnd + measurement-level attack transform) and the
 // high-fidelity signal pipeline (radar.SignalFrontEnd + sweep-level attack
 // transform), returning the measurement closure and the detector's
-// quiet-channel threshold.
-func buildMeasurePipeline(s Scenario, atk attack.Attack, src *noise.Source) (measureFunc, float64, error) {
+// quiet-channel threshold. synth times sweep synthesis + corruption;
+// extract times the beat-spectrum estimator (signal pipeline only).
+func buildMeasurePipeline(s Scenario, atk attack.Attack, src *noise.Source, synth, extract *obs.Timer) (measureFunc, float64, error) {
 	if !s.SignalLevel {
 		fe, err := radar.NewFrontEnd(s.Radar, s.Schedule, src)
 		if err != nil {
 			return nil, 0, err
 		}
 		return func(k int, d, dv float64) radar.Measurement {
-			return atk.Corrupt(k, fe.Observe(k, d, dv))
+			sp := synth.Start()
+			m := atk.Corrupt(k, fe.Observe(k, d, dv))
+			sp.End()
+			return m
 		}, fe.ZeroThreshold(), nil
 	}
 	samples := s.SignalSamples
@@ -286,13 +307,20 @@ func buildMeasurePipeline(s Scenario, atk attack.Attack, src *noise.Source) (mea
 	}
 	sweepAtk, signalCapable := atk.(radar.SweepCorruptor)
 	return func(k int, d, dv float64) radar.Measurement {
+		sp := synth.Start()
 		sweep, challenge := sfe.ObserveSweep(k, d, dv)
 		if signalCapable {
 			sweep = sweepAtk.CorruptSweep(k, sweep, challenge)
-			return sfe.Measure(k, sweep, challenge)
 		}
-		// Attacks without a physical-channel model (e.g. the fast
-		// adversary) corrupt the extracted measurement instead.
-		return atk.Corrupt(k, sfe.Measure(k, sweep, challenge))
+		sp.End()
+		ep := extract.Start()
+		m := sfe.Measure(k, sweep, challenge)
+		ep.End()
+		if !signalCapable {
+			// Attacks without a physical-channel model (e.g. the fast
+			// adversary) corrupt the extracted measurement instead.
+			m = atk.Corrupt(k, m)
+		}
+		return m
 	}, sfe.ZeroThreshold(), nil
 }
