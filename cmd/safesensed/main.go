@@ -1,16 +1,24 @@
 // Command safesensed serves the safesense simulator over HTTP/JSON: single
-// scenario runs, asynchronous Monte Carlo campaign sweeps, metrics, and
-// health.
+// scenario runs, asynchronous Monte Carlo campaign sweeps, metrics,
+// traces, and health.
 //
 // Endpoints:
 //
-//	GET  /healthz             liveness + store occupancy
-//	GET  /metrics             Prometheus text exposition
+//	GET  /healthz             liveness, store occupancy, uptime, build info
+//	GET  /metrics             Prometheus text exposition (with exemplars)
+//	GET  /debug/traces        recent traces; ?trace=<id> for one span tree
 //	POST /v1/run              run one scenario, return the JSON summary
+//	                          (incl. the flight-recorder event timeline)
 //	POST /v1/campaigns        submit a sweep; returns {"id": ...} (202)
 //	GET  /v1/campaigns/{id}   poll progress (+ runs/sec and ETA while
 //	                          running); summary appears when done
+//	GET  /v1/campaigns/{id}/events  campaign audit log (lifecycle + per-job
+//	                          collisions and detector confusion)
 //	DELETE /v1/campaigns/{id} cancel a running sweep
+//
+// Every request gets a trace: a sane inbound X-Request-ID is honored as
+// the trace ID (one is minted otherwise), echoed on the response, stamped
+// on every log record and error payload, and resolvable at /debug/traces.
 //
 // Usage:
 //

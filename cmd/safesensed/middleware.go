@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -38,13 +40,50 @@ func newHTTPMetrics(reg *obs.Registry) *httpMetrics {
 func routePattern(r *http.Request) string {
 	p := r.URL.Path
 	switch {
-	case p == "/healthz" || p == "/metrics" || p == "/v1/run" || p == "/v1/campaigns":
+	case p == "/healthz" || p == "/metrics" || p == "/v1/run" || p == "/v1/campaigns" || p == "/debug/traces":
 		return p
+	case strings.HasPrefix(p, "/v1/campaigns/") && strings.HasSuffix(p, "/events"):
+		return "/v1/campaigns/{id}/events"
 	case strings.HasPrefix(p, "/v1/campaigns/"):
 		return "/v1/campaigns/{id}"
 	default:
 		return "other"
 	}
+}
+
+// requestIDHeader is the inbound/outbound correlation header. A sane
+// client-supplied value is honored as the trace ID (so a caller can pick
+// "demo" and grep every log line and span it produced); otherwise the
+// middleware mints one.
+const requestIDHeader = "X-Request-ID"
+
+// maxRequestIDLen bounds honored client request IDs.
+const maxRequestIDLen = 64
+
+// sanitizeRequestID accepts printable-ASCII IDs without spaces, quotes,
+// or backslashes (they land in log lines and exemplar labels verbatim).
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > maxRequestIDLen {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '"' || c == '\\' {
+			return ""
+		}
+	}
+	return id
+}
+
+type loggerKey struct{}
+
+// reqLog returns the request-scoped logger (carrying request_id) when the
+// middleware installed one, else the server's base logger.
+func (s *Server) reqLog(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(loggerKey{}).(*slog.Logger); ok {
+		return l
+	}
+	return s.cfg.Log
 }
 
 // statusRecorder captures the status code and payload size a handler
@@ -71,13 +110,32 @@ func (sr *statusRecorder) Write(b []byte) (int, error) {
 	return n, err
 }
 
-// withObservability wraps the router with request metrics, structured
-// request logs, and panic recovery (panic → 500 + counter; the
+// withObservability wraps the router with per-request trace roots,
+// request metrics, structured request logs (every record stamped with the
+// request ID), and panic recovery (panic → 500 + counter; the
 // connection-abort sentinel is re-raised for net/http to handle).
+//
+// The request ID doubles as the trace ID: it is honored from an inbound
+// X-Request-ID header (sanitized), echoed back on the response, attached
+// to every slog record and error payload, recorded as the latency
+// histogram's exemplar, and used as the root of the span tree that
+// campaign.Run and sim.RunContext extend.
 func (s *Server) withObservability(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w}
 		route := routePattern(r)
+
+		ctx, span := s.traces.Root(r.Context(), "http "+route, sanitizeRequestID(r.Header.Get(requestIDHeader)))
+		id := span.TraceID()
+		w.Header().Set(requestIDHeader, id)
+		log := s.cfg.Log.With("request_id", id)
+		ctx = context.WithValue(ctx, loggerKey{}, log)
+		r = r.WithContext(ctx)
+		if span.Sampled() {
+			span.SetAttr("method", r.Method)
+			span.SetAttr("route", route)
+		}
+
 		start := time.Now()
 		s.metrics.inFlight.Add(1)
 		defer func() {
@@ -88,9 +146,9 @@ func (s *Server) withObservability(next http.Handler) http.Handler {
 				}
 				s.metrics.panics.Inc()
 				if rec.status == 0 {
-					writeError(rec, http.StatusInternalServerError, fmt.Errorf("internal error"))
+					writeError(rec, r, http.StatusInternalServerError, fmt.Errorf("internal error"))
 				}
-				s.cfg.Log.Error("handler panic",
+				log.Error("handler panic",
 					"method", r.Method, "path", r.URL.Path, "panic", fmt.Sprint(p))
 			}
 			status := rec.status
@@ -98,9 +156,13 @@ func (s *Server) withObservability(next http.Handler) http.Handler {
 				status = http.StatusOK
 			}
 			elapsed := time.Since(start)
+			if span.Sampled() {
+				span.SetAttrInt("status", int64(status))
+			}
+			span.End()
 			s.metrics.requests.With(r.Method, route, strconv.Itoa(status)).Inc()
-			s.metrics.latency.With(r.Method, route).ObserveDuration(elapsed)
-			s.cfg.Log.Info("request",
+			s.metrics.latency.With(r.Method, route).ObserveExemplar(elapsed.Seconds(), id)
+			log.Info("request",
 				"method", r.Method, "path", r.URL.Path, "route", route,
 				"status", status, "bytes", rec.bytes,
 				"duration_ms", float64(elapsed.Nanoseconds())/1e6)

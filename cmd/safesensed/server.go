@@ -7,11 +7,14 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"safesense/internal/campaign"
 	"safesense/internal/obs"
+	obstrace "safesense/internal/obs/trace"
 	"safesense/internal/report"
 	"safesense/internal/sim"
 )
@@ -37,6 +40,9 @@ type Config struct {
 	// instrumentation (nil means obs.Default(), which also carries the
 	// simulator and campaign-engine families).
 	Metrics *obs.Registry
+	// Traces is the span store behind GET /debug/traces and the
+	// per-request trace roots (nil means trace.Default()).
+	Traces *obstrace.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -55,6 +61,9 @@ func (c Config) withDefaults() Config {
 	if c.Metrics == nil {
 		c.Metrics = obs.Default()
 	}
+	if c.Traces == nil {
+		c.Traces = obstrace.Default()
+	}
 	return c
 }
 
@@ -66,9 +75,38 @@ const (
 	statusCancelled = "cancelled"
 )
 
+// CampaignEvent is one audit-log entry of a stored campaign: lifecycle
+// transitions plus per-job incidents derived from the outcomes (the
+// flight-recorder view at campaign granularity). Served by
+// GET /v1/campaigns/{id}/events.
+type CampaignEvent struct {
+	Time time.Time `json:"time"`
+	Kind string    `json:"kind"`
+	// JobIndex and Seed identify the job for per-job incident events.
+	JobIndex int   `json:"job_index,omitempty"`
+	Seed     int64 `json:"seed,omitempty"`
+	// K is the simulation timestep of the incident, when it has one.
+	K      int    `json:"k,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Campaign event kinds (beyond the lifecycle statuses, which are reused
+// verbatim as kinds).
+const (
+	eventSubmitted     = "submitted"
+	eventCollision     = "collision"
+	eventFalsePositive = "false_positive"
+	eventFalseNegative = "false_negative"
+)
+
+// maxCampaignEvents caps a campaign's event log; a sweep designed to
+// crash every run must not grow the store unboundedly.
+const maxCampaignEvents = 256
+
 // entry is one stored campaign.
 type entry struct {
 	ID        string
+	TraceID   string
 	Status    string
 	Spec      campaign.Spec
 	Jobs      int
@@ -83,19 +121,30 @@ type entry struct {
 	Summary *campaign.Summary
 	Err     string
 
+	Events []CampaignEvent
+
 	cancel context.CancelFunc
 }
 
 // terminal reports whether the campaign will never change again.
 func (e *entry) terminal() bool { return e.Status != statusRunning }
 
+// addEvent appends to the campaign's bounded event log. Callers hold s.mu.
+func (e *entry) addEvent(ev CampaignEvent) {
+	if len(e.Events) < maxCampaignEvents {
+		e.Events = append(e.Events, ev)
+	}
+}
+
 // Server is the safesensed HTTP service: single runs, async campaign
-// sweeps over a bounded in-memory store, metrics, and health.
+// sweeps over a bounded in-memory store, metrics, traces, and health.
 type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
 	handler http.Handler // mux wrapped in the observability middleware
 	metrics *httpMetrics
+	traces  *obstrace.Store
+	started time.Time
 
 	mu        sync.Mutex
 	campaigns map[string]*entry
@@ -110,15 +159,19 @@ type Server struct {
 func NewServer(cfg Config) *Server {
 	s := &Server{
 		cfg:       cfg.withDefaults(),
-		mux:       http.NewServeMux(),
 		campaigns: make(map[string]*entry),
+		mux:       http.NewServeMux(),
+		started:   time.Now(),
 	}
+	s.traces = s.cfg.Traces
 	s.metrics = newHTTPMetrics(s.cfg.Metrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.Handle("GET /metrics", s.cfg.Metrics.Handler())
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancel)
 	s.handler = s.withObservability(s.mux)
 	return s
@@ -136,8 +189,14 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+// writeError renders the error payload, stamping the request ID so a
+// failure report can be matched to its log records and trace.
+func writeError(w http.ResponseWriter, r *http.Request, code int, err error) {
+	body := map[string]string{"error": err.Error()}
+	if id := obstrace.ID(r.Context()); id != "" {
+		body["request_id"] = id
+	}
+	writeJSON(w, code, body)
 }
 
 // decodeBody strictly decodes one JSON object into v, bounding the body
@@ -162,6 +221,28 @@ func decodeStatus(err error) int {
 	return http.StatusBadRequest
 }
 
+// vcsRevision extracts the VCS commit the binary was built from, when the
+// toolchain stamped one ("" otherwise — e.g. go test binaries).
+func vcsRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev, modified string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	if rev != "" && modified == "true" {
+		rev += "-dirty"
+	}
+	return rev
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	n := len(s.campaigns)
@@ -172,11 +253,32 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"ok":                true,
 		"campaigns_stored":  n,
 		"campaigns_running": running,
-	})
+		"uptime_seconds":    time.Since(s.started).Seconds(),
+		"go_version":        runtime.Version(),
+	}
+	if rev := vcsRevision(); rev != "" {
+		resp["vcs_revision"] = rev
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTraces serves the in-memory span store: the trace list by
+// default, one trace's full span set with ?trace=<id>.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if id := r.URL.Query().Get("trace"); id != "" {
+		spans := s.traces.Trace(id)
+		if len(spans) == 0 {
+			writeError(w, r, http.StatusNotFound, fmt.Errorf("no recorded trace %q", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"trace_id": id, "spans": spans})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": s.traces.Summaries()})
 }
 
 // RunRequest is the single-scenario request: a campaign grid point plus
@@ -191,23 +293,27 @@ type RunRequest struct {
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req RunRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
-		writeError(w, decodeStatus(err), err)
+		writeError(w, r, decodeStatus(err), err)
 		return
 	}
 	scenario, err := req.Point.Scenario()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if err := scenario.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	res, err := sim.Run(scenario)
+	res, err := sim.RunContext(r.Context(), scenario)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
+	s.reqLog(r.Context()).Info("run finished",
+		"scenario", req.Point.Label(), "seed", req.Point.Seed,
+		"detected_at", res.DetectedAt, "collision_at", res.CollisionAt,
+		"flight_events", len(res.Flight))
 	writeJSON(w, http.StatusOK, report.Summarize(res, req.IncludeTraces))
 }
 
@@ -230,16 +336,16 @@ type SubmitResponse struct {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req SubmitRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
-		writeError(w, decodeStatus(err), err)
+		writeError(w, r, decodeStatus(err), err)
 		return
 	}
 	jobs, err := req.Spec.NumJobs()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if jobs > s.cfg.MaxJobs {
-		writeError(w, http.StatusBadRequest,
+		writeError(w, r, http.StatusBadRequest,
 			fmt.Errorf("campaign expands to %d jobs, server cap is %d", jobs, s.cfg.MaxJobs))
 		return
 	}
@@ -248,32 +354,44 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		workers = s.cfg.Workers
 	}
 
+	// The sweep outlives the request, so it gets its own root span — but
+	// under the submitting request's trace ID, so the submitter's
+	// X-Request-ID resolves to the whole fan-out in /debug/traces.
 	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cspan := s.traces.Root(ctx, "campaign.async", obstrace.ID(r.Context()))
+
 	s.mu.Lock()
 	if !s.evictLocked() {
 		s.mu.Unlock()
 		cancel()
-		writeError(w, http.StatusServiceUnavailable,
+		cspan.End()
+		writeError(w, r, http.StatusServiceUnavailable,
 			fmt.Errorf("campaign store full (%d running)", s.cfg.MaxCampaigns))
 		return
 	}
 	s.nextID++
 	e := &entry{
 		ID:        fmt.Sprintf("c%06d", s.nextID),
+		TraceID:   cspan.TraceID(),
 		Status:    statusRunning,
 		Spec:      req.Spec,
 		Jobs:      jobs,
 		CreatedAt: time.Now(),
 		cancel:    cancel,
 	}
+	e.addEvent(CampaignEvent{Time: e.CreatedAt, Kind: eventSubmitted,
+		Detail: fmt.Sprintf("%d jobs on %d workers", jobs, workers)})
 	s.campaigns[e.ID] = e
 	s.order = append(s.order, e.ID)
 	s.mu.Unlock()
 
+	if cspan.Sampled() {
+		cspan.SetAttr("campaign_id", e.ID)
+	}
 	s.wg.Add(1)
-	go s.runCampaign(ctx, e, workers, req.DiscardOutcomes)
+	go s.runCampaign(ctx, cspan, e, workers, req.DiscardOutcomes)
 
-	s.cfg.Log.Info("campaign submitted",
+	s.reqLog(r.Context()).Info("campaign submitted",
 		"id", e.ID, "jobs", jobs, "workers", workers, "name", req.Spec.Name)
 	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: e.ID, Jobs: jobs, URL: "/v1/campaigns/" + e.ID})
 }
@@ -295,11 +413,37 @@ func (s *Server) evictLocked() bool {
 	return false
 }
 
-func (s *Server) runCampaign(ctx context.Context, e *entry, workers int, discard bool) {
+// outcomeEvents derives per-job incident events from a finished sweep's
+// outcomes: collisions and detector confusion, each attributed to the
+// job's index and seed so the run is reproducible from the event alone.
+func outcomeEvents(sum *campaign.Summary, now time.Time) []CampaignEvent {
+	var evs []CampaignEvent
+	for _, o := range sum.Outcomes {
+		if o.CollisionAt >= 0 {
+			evs = append(evs, CampaignEvent{Time: now, Kind: eventCollision,
+				JobIndex: o.Index, Seed: o.Point.Seed, K: o.CollisionAt, Detail: o.Label})
+		}
+		if o.FalsePositives > 0 {
+			evs = append(evs, CampaignEvent{Time: now, Kind: eventFalsePositive,
+				JobIndex: o.Index, Seed: o.Point.Seed,
+				Detail: fmt.Sprintf("%s: %d false positives", o.Label, o.FalsePositives)})
+		}
+		if o.FalseNegatives > 0 {
+			evs = append(evs, CampaignEvent{Time: now, Kind: eventFalseNegative,
+				JobIndex: o.Index, Seed: o.Point.Seed,
+				Detail: fmt.Sprintf("%s: %d false negatives", o.Label, o.FalseNegatives)})
+		}
+	}
+	return evs
+}
+
+func (s *Server) runCampaign(ctx context.Context, cspan *obstrace.Span, e *entry, workers int, discard bool) {
 	defer s.wg.Done()
+	defer cspan.End()
 	sum, err := campaign.Run(ctx, e.Spec, campaign.Options{
 		Workers:         workers,
 		DiscardOutcomes: discard,
+		Log:             s.cfg.Log.With("campaign_id", e.ID),
 		OnStats: func(st campaign.Stats) {
 			s.mu.Lock()
 			e.Done = st.Done
@@ -308,6 +452,7 @@ func (s *Server) runCampaign(ctx context.Context, e *entry, workers int, discard
 			s.mu.Unlock()
 		},
 	})
+	now := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch {
@@ -321,6 +466,13 @@ func (s *Server) runCampaign(ctx context.Context, e *entry, workers int, discard
 		e.Status = statusDone
 		e.Done = e.Jobs
 		e.Summary = sum
+		for _, ev := range outcomeEvents(sum, now) {
+			e.addEvent(ev)
+		}
+	}
+	e.addEvent(CampaignEvent{Time: now, Kind: e.Status, Detail: e.Err})
+	if cspan.Sampled() {
+		cspan.SetAttr("status", e.Status)
 	}
 	attrs := []any{
 		"id", e.ID, "status", e.Status, "done", e.Done, "jobs", e.Jobs,
@@ -341,6 +493,7 @@ func (s *Server) runCampaign(ctx context.Context, e *entry, workers int, discard
 // the final throughput.
 type StatusResponse struct {
 	ID             string            `json:"id"`
+	TraceID        string            `json:"trace_id,omitempty"`
 	Status         string            `json:"status"`
 	Jobs           int               `json:"jobs"`
 	Done           int               `json:"done"`
@@ -355,6 +508,7 @@ type StatusResponse struct {
 func (s *Server) statusLocked(e *entry) StatusResponse {
 	resp := StatusResponse{
 		ID:        e.ID,
+		TraceID:   e.TraceID,
 		Status:    e.Status,
 		Jobs:      e.Jobs,
 		Done:      e.Done,
@@ -384,7 +538,32 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if e == nil {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no campaign %q", id))
+		writeError(w, r, http.StatusNotFound, fmt.Errorf("no campaign %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// EventsResponse is the campaign audit log.
+type EventsResponse struct {
+	ID      string          `json:"id"`
+	TraceID string          `json:"trace_id,omitempty"`
+	Status  string          `json:"status"`
+	Events  []CampaignEvent `json:"events"`
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	e := s.campaigns[id]
+	var resp EventsResponse
+	if e != nil {
+		resp = EventsResponse{ID: e.ID, TraceID: e.TraceID, Status: e.Status,
+			Events: append([]CampaignEvent(nil), e.Events...)}
+	}
+	s.mu.Unlock()
+	if e == nil {
+		writeError(w, r, http.StatusNotFound, fmt.Errorf("no campaign %q", id))
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -400,7 +579,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if e == nil {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no campaign %q", id))
+		writeError(w, r, http.StatusNotFound, fmt.Errorf("no campaign %q", id))
 		return
 	}
 	if cancel != nil {

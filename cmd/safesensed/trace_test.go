@@ -1,0 +1,329 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"safesense/internal/campaign"
+	"safesense/internal/obs"
+	obstrace "safesense/internal/obs/trace"
+	"safesense/internal/report"
+	"safesense/internal/sim"
+)
+
+// syncBuffer lets the request goroutine and the test read/write log
+// output without racing.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// newTracedServer builds a server on private metrics/trace stores with
+// captured logs, so assertions do not race other tests sharing defaults.
+func newTracedServer(t *testing.T) (*httptest.Server, *obstrace.Store, *syncBuffer) {
+	t.Helper()
+	logBuf := &syncBuffer{}
+	st := obstrace.NewStore(256)
+	_, ts := newTestServer(t, Config{
+		Log:     slog.New(slog.NewTextHandler(logBuf, nil)),
+		Metrics: obs.NewRegistry(),
+		Traces:  st,
+	})
+	return ts, st, logBuf
+}
+
+// TestRequestIDEndToEnd is the PR's acceptance scenario: a spoofing run
+// submitted with X-Request-ID: demo must (1) echo the ID on the response,
+// (2) stamp it on every related slog record, (3) leave a retrievable
+// trace in GET /debug/traces whose spans reach sim.run, and (4) return a
+// flight-recorder timeline with challenge → cra_flagged → rls_takeover →
+// rls_release at non-decreasing k.
+func TestRequestIDEndToEnd(t *testing.T) {
+	ts, st, logBuf := newTracedServer(t)
+
+	body, _ := json.Marshal(RunRequest{Point: campaign.Point{
+		Attack: campaign.AttackDelay, Onset: 180, OffsetM: 6, Defended: true,
+	}})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "demo")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != "demo" {
+		t.Errorf("response X-Request-ID = %q, want demo", got)
+	}
+	sum := decodeJSON[report.RunSummary](t, resp, http.StatusOK)
+
+	// (4) The event timeline.
+	if len(sum.Events) == 0 {
+		t.Fatal("run summary carries no flight-recorder events")
+	}
+	lastK := -1
+	first := map[string]bool{}
+	for _, ev := range sum.Events {
+		if ev.K < lastK {
+			t.Errorf("event %q at k=%d after k=%d", ev.Kind, ev.K, lastK)
+		}
+		lastK = ev.K
+		first[ev.Kind] = true
+	}
+	for _, kind := range []string{sim.EventChallenge, sim.EventCRAFlagged, sim.EventRLSTakeover, sim.EventRLSRelease} {
+		if !first[kind] {
+			t.Errorf("timeline missing %q", kind)
+		}
+	}
+
+	// (2) Every slog record of the request carries the ID.
+	logs := logBuf.String()
+	var related, stamped int
+	for _, line := range strings.Split(strings.TrimSpace(logs), "\n") {
+		if line == "" {
+			continue
+		}
+		related++
+		if strings.Contains(line, "request_id=demo") {
+			stamped++
+		}
+	}
+	if related == 0 || stamped != related {
+		t.Errorf("request_id=demo on %d of %d log records:\n%s", stamped, related, logs)
+	}
+
+	// (3) The trace is retrievable, with spans down into the simulator.
+	spans := st.Trace("demo")
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded for trace demo")
+	}
+	names := map[string]bool{}
+	for _, sp := range spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"http /v1/run", "sim.run"} {
+		if !names[want] {
+			t.Errorf("trace demo missing span %q (have %v)", want, names)
+		}
+	}
+
+	// And the same trace comes back over the debug endpoint.
+	dresp, err := http.Get(ts.URL + "/debug/traces?trace=demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := decodeJSON[struct {
+		TraceID string                `json:"trace_id"`
+		Spans   []obstrace.SpanRecord `json:"spans"`
+	}](t, dresp, http.StatusOK)
+	// The debug request runs under its own generated trace ID, so it does
+	// not add spans to "demo" — the dump matches the store exactly.
+	if dump.TraceID != "demo" || len(dump.Spans) != len(spans) {
+		t.Errorf("debug dump: trace %q with %d spans, want demo with %d", dump.TraceID, len(dump.Spans), len(spans))
+	}
+}
+
+// TestErrorResponseCarriesRequestID: a 4xx payload must carry the
+// request ID so the failure can be matched to its log records.
+func TestErrorResponseCarriesRequestID(t *testing.T) {
+	ts, _, _ := newTracedServer(t)
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/campaigns/nope", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "err-demo")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := decodeJSON[map[string]string](t, resp, http.StatusNotFound)
+	if body["request_id"] != "err-demo" {
+		t.Errorf("error payload request_id = %q, want err-demo (body %v)", body["request_id"], body)
+	}
+}
+
+// TestRequestIDSanitization: hostile or oversized inbound IDs are
+// replaced with a generated one rather than echoed into logs and labels.
+func TestRequestIDSanitization(t *testing.T) {
+	ts, _, _ := newTracedServer(t)
+	for _, bad := range []string{`x"inject`, "a b", strings.Repeat("z", 200), `back\slash`} {
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Request-ID", bad)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := resp.Header.Get("X-Request-ID")
+		resp.Body.Close()
+		if got == bad || got == "" {
+			t.Errorf("hostile ID %q: response ID %q, want a fresh generated one", bad, got)
+		}
+	}
+}
+
+// TestHealthzBuildInfo: /healthz reports uptime and build identity.
+func TestHealthzBuildInfo(t *testing.T) {
+	ts, _, _ := newTracedServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := decodeJSON[map[string]any](t, resp, http.StatusOK)
+	if h["ok"] != true {
+		t.Fatalf("healthz = %v", h)
+	}
+	if _, ok := h["uptime_seconds"].(float64); !ok {
+		t.Errorf("healthz missing uptime_seconds: %v", h)
+	}
+	gv, _ := h["go_version"].(string)
+	if !strings.HasPrefix(gv, "go") {
+		t.Errorf("healthz go_version = %q", gv)
+	}
+}
+
+// TestMetricsExemplar: the latency histogram exposes the request's trace
+// ID as an exemplar, linking /metrics tail latency to /debug/traces.
+func TestMetricsExemplar(t *testing.T) {
+	ts, _, _ := newTracedServer(t)
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "exemplar-demo")
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `# {trace_id="exemplar-demo"}`) {
+		t.Errorf("/metrics lacks the exemplar for trace exemplar-demo")
+	}
+}
+
+// TestCampaignEventsEndpoint: a completed sweep serves its audit log,
+// and its status carries the trace ID of the submitting request.
+func TestCampaignEventsEndpoint(t *testing.T) {
+	ts, st, _ := newTracedServer(t)
+	spec := campaign.Spec{
+		Name: "events-unit", Steps: 60, BaseSeed: 3, Replicates: 2,
+		Attacks: []string{campaign.AttackDoS}, Onsets: []int{20},
+	}
+	body, _ := json.Marshal(SubmitRequest{Spec: spec, Workers: 2})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/campaigns", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "campaign-demo")
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack := decodeJSON[SubmitResponse](t, resp, http.StatusAccepted)
+
+	stResp := pollCampaign(t, ts.URL, ack.ID)
+	if stResp.Status != statusDone {
+		t.Fatalf("campaign ended %s: %s", stResp.Status, stResp.Error)
+	}
+	if stResp.TraceID != "campaign-demo" {
+		t.Errorf("status trace_id = %q, want campaign-demo", stResp.TraceID)
+	}
+
+	eresp, err := http.Get(ts.URL + "/v1/campaigns/" + ack.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := decodeJSON[EventsResponse](t, eresp, http.StatusOK)
+	if len(ev.Events) < 2 {
+		t.Fatalf("events = %+v, want at least submitted + done", ev.Events)
+	}
+	if ev.Events[0].Kind != eventSubmitted {
+		t.Errorf("first event %q, want %q", ev.Events[0].Kind, eventSubmitted)
+	}
+	if last := ev.Events[len(ev.Events)-1]; last.Kind != statusDone {
+		t.Errorf("last event %q, want %q", last.Kind, statusDone)
+	}
+
+	// The submitting trace covers the whole fan-out: campaign.async →
+	// campaign.run → campaign.job → sim.run.
+	names := map[string]bool{}
+	for _, sp := range st.Trace("campaign-demo") {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"campaign.async", "campaign.run", "campaign.job", "sim.run"} {
+		if !names[want] {
+			t.Errorf("campaign trace missing span %q (have %v)", want, names)
+		}
+	}
+
+	// Unknown campaign → 404 on the events route too.
+	nresp, err := http.Get(ts.URL + "/v1/campaigns/nope/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nresp.StatusCode != http.StatusNotFound {
+		t.Errorf("events for unknown campaign: status %d, want 404", nresp.StatusCode)
+	}
+	nresp.Body.Close()
+}
+
+// TestDebugTracesList: the bare endpoint lists trace summaries.
+func TestDebugTracesList(t *testing.T) {
+	ts, _, _ := newTracedServer(t)
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := decodeJSON[struct {
+		Traces []obstrace.TraceSummary `json:"traces"`
+	}](t, resp, http.StatusOK)
+	if len(list.Traces) == 0 {
+		t.Fatal("trace list empty after a served request")
+	}
+	// Unknown trace → 404.
+	nresp, err := http.Get(ts.URL + "/debug/traces?trace=missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nresp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown trace: status %d, want 404", nresp.StatusCode)
+	}
+	nresp.Body.Close()
+}

@@ -5,10 +5,11 @@
 //
 //	safesim [-attack none|dos|delay] [-defended] [-steps N] [-seed S]
 //	        [-offset M] [-onset K] [-leader const|phased] [-csv FILE]
-//	        [-timing]
+//	        [-events-out FILE] [-timing]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -29,6 +30,7 @@ func main() {
 	onset := flag.Int("onset", 182, "attack onset step")
 	leader := flag.String("leader", "const", "leader profile: const (Fig 2) or phased (Fig 3)")
 	csvPath := flag.String("csv", "", "write the distance trace set as CSV to this file")
+	eventsPath := flag.String("events-out", "", "write the flight-recorder event timeline as JSON Lines to this file (- for stdout)")
 	width := flag.Int("width", 96, "plot width")
 	height := flag.Int("height", 20, "plot height")
 	timing := flag.Bool("timing", false, "print the per-phase timing breakdown next to the summary")
@@ -39,7 +41,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*attackKind, *leader, *csvPath, *defended, *timing, *steps, *seed, *offset, *onset, *width, *height); err != nil {
+	if err := run(*attackKind, *leader, *csvPath, *eventsPath, *defended, *timing, *steps, *seed, *offset, *onset, *width, *height); err != nil {
 		fmt.Fprintln(os.Stderr, "safesim:", err)
 		os.Exit(1)
 	}
@@ -76,7 +78,7 @@ func validateFlags(attackKind, leader string, steps, onset int, offset float64, 
 	return nil
 }
 
-func run(attackKind, leader, csvPath string, defended, timing bool, steps int, seed int64, offset float64, onset, width, height int) error {
+func run(attackKind, leader, csvPath, eventsPath string, defended, timing bool, steps int, seed int64, offset float64, onset, width, height int) error {
 	var s sim.Scenario
 	switch leader {
 	case "const":
@@ -133,6 +135,41 @@ func run(attackKind, leader, csvPath string, defended, timing bool, steps int, s
 			return err
 		}
 		fmt.Printf("wrote %s\n", csvPath)
+	}
+	if eventsPath != "" {
+		if err := writeEvents(eventsPath, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeEvents exports the flight-recorder timeline as JSON Lines, one
+// event per line (the same shape internal/sim pins in its golden file),
+// followed by one line per anomaly dump. "-" streams to stdout.
+func writeEvents(path string, res *sim.Result) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	for _, ev := range res.Flight {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	for _, a := range res.Anomalies {
+		if err := enc.Encode(a); err != nil {
+			return err
+		}
+	}
+	if path != "-" {
+		fmt.Printf("wrote %s (%d events, %d anomaly dumps)\n", path, len(res.Flight), len(res.Anomalies))
 	}
 	return nil
 }

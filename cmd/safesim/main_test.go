@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -61,5 +65,45 @@ func TestPrintTiming(t *testing.T) {
 	}
 	if !strings.Contains(out, "calls=301") {
 		t.Errorf("timing output missing per-step call counts:\n%s", out)
+	}
+}
+
+// TestWriteEventsJSONL: -events-out produces one parseable JSON object
+// per line carrying the spoofing run's detection/recovery timeline.
+func TestWriteEventsJSONL(t *testing.T) {
+	res, err := sim.Run(sim.Fig2bDelay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	if err := writeEvents(path, res); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	kinds := map[string]bool{}
+	lines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		lines++
+		var ev sim.FlightEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", lines, err)
+		}
+		kinds[ev.Kind] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines != len(res.Flight)+len(res.Anomalies) {
+		t.Errorf("wrote %d lines, want %d events + %d dumps", lines, len(res.Flight), len(res.Anomalies))
+	}
+	for _, kind := range []string{sim.EventChallenge, sim.EventCRAFlagged, sim.EventRLSTakeover, sim.EventRLSRelease} {
+		if !kinds[kind] {
+			t.Errorf("export missing %q events", kind)
+		}
 	}
 }

@@ -3,10 +3,14 @@ package campaign
 import (
 	"context"
 	"fmt"
+	"io"
+	"log/slog"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
+	obstrace "safesense/internal/obs/trace"
 	"safesense/internal/sim"
 	"safesense/internal/stats"
 )
@@ -27,7 +31,17 @@ type Options struct {
 	// keeping only the aggregate — for very large campaigns where the
 	// O(jobs) payload is unwanted.
 	DiscardOutcomes bool
+	// Log receives the engine's structured records. Every record carries
+	// the job's index and seed, so log lines from concurrent sweeps can
+	// be tied back to a reproducible scenario. Nil discards.
+	Log *slog.Logger
+	// SlowestJobs sets how many of the slowest jobs the summary's table
+	// keeps (zero means DefaultSlowestJobs; negative disables).
+	SlowestJobs int
 }
+
+// DefaultSlowestJobs is the top-K table size of Summary.SlowestJobs.
+const DefaultSlowestJobs = 8
 
 // Outcome is the per-job result record: the job identity plus the scalar
 // metrics a sweep aggregates. Traces are deliberately not retained — a
@@ -86,6 +100,51 @@ func outcomeOf(j Job, res *sim.Result) Outcome {
 	return o
 }
 
+// JobTiming is one row of the summary's slowest-jobs table.
+type JobTiming struct {
+	Index   int     `json:"index"`
+	Seed    int64   `json:"seed"`
+	Label   string  `json:"label"`
+	Seconds float64 `json:"seconds"`
+}
+
+// topK accumulates the K largest job timings; insert is O(K) which is
+// fine for K = 8 against ~ms jobs.
+type topK struct {
+	mu   sync.Mutex
+	k    int
+	rows []JobTiming
+}
+
+func (t *topK) insert(row JobTiming) {
+	if t.k <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i := sort.Search(len(t.rows), func(i int) bool { return t.rows[i].Seconds < row.Seconds })
+	if i >= t.k {
+		return
+	}
+	t.rows = append(t.rows, JobTiming{})
+	copy(t.rows[i+1:], t.rows[i:])
+	t.rows[i] = row
+	if len(t.rows) > t.k {
+		t.rows = t.rows[:t.k]
+	}
+}
+
+func (t *topK) table() []JobTiming {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.rows) == 0 {
+		return nil
+	}
+	out := make([]JobTiming, len(t.rows))
+	copy(out, t.rows)
+	return out
+}
+
 // Summary is the full campaign result: the deterministic Aggregate (a pure
 // function of the spec), the per-job outcomes, and the timing of this
 // particular execution.
@@ -98,6 +157,11 @@ type Summary struct {
 	// Outcomes lists every job in grid order (nil when discarded).
 	Outcomes []Outcome `json:"outcomes,omitempty"`
 
+	// SlowestJobs ranks this execution's slowest jobs, descending — the
+	// first place to look when a sweep's tail latency grows. Wall-clock,
+	// not deterministic.
+	SlowestJobs []JobTiming `json:"slowest_jobs,omitempty"`
+
 	// ElapsedSeconds and RunsPerSec time this execution (wall clock; not
 	// deterministic, excluded from determinism comparisons).
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
@@ -108,6 +172,12 @@ type Summary struct {
 // The context cancels the sweep: remaining jobs are abandoned and
 // ctx.Err() is returned. Results are deterministic for a given spec —
 // identical regardless of Workers.
+//
+// When ctx carries a trace span (internal/obs/trace), the sweep records
+// a campaign.run span plus, per job, queue-wait / job / aggregate spans
+// (the job span wraps the simulator's own sim.run span), all linked
+// under the caller's trace — so one request ID in safesensed resolves to
+// the full fan-out.
 func Run(ctx context.Context, spec Spec, opt Options) (*Summary, error) {
 	jobs, err := spec.Expand()
 	if err != nil {
@@ -119,6 +189,23 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Summary, error) {
 	}
 	if workers > len(jobs) && len(jobs) > 0 {
 		workers = len(jobs)
+	}
+	logger := opt.Log
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	slowK := opt.SlowestJobs
+	if slowK == 0 {
+		slowK = DefaultSlowestJobs
+	}
+	slowest := &topK{k: slowK}
+
+	ctx, cspan := obstrace.StartSpan(ctx, "campaign.run")
+	defer cspan.End()
+	if cspan.Sampled() {
+		cspan.SetAttr("campaign", spec.Name)
+		cspan.SetAttrInt("jobs", int64(len(jobs)))
+		cspan.SetAttrInt("workers", int64(workers))
 	}
 
 	metricActiveCampaigns.With().Add(1)
@@ -156,30 +243,53 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Summary, error) {
 		go func() {
 			defer wg.Done()
 			for {
+				_, qspan := obstrace.StartSpan(ctx, "campaign.queue_wait")
 				idle := time.Now()
 				j, ok := <-feed
 				if !ok {
+					qspan.End()
 					return
 				}
+				qspan.SetAttrInt("job", int64(j.Index))
+				qspan.End()
 				metricQueueWaitSeconds.With().ObserveDuration(time.Since(idle))
 
 				busy := time.Now()
+				jobCtx, jspan := obstrace.StartSpan(ctx, "campaign.job")
+				jspan.SetAttrInt("job", int64(j.Index))
+				jspan.SetAttrInt("seed", j.Point.Seed)
+				jspan.SetAttr("label", j.Point.Label())
 				s, err := j.Point.Scenario()
 				if err == nil {
 					var res *sim.Result
-					res, err = sim.Run(s)
+					res, err = sim.RunContext(jobCtx, s)
 					if err == nil {
+						_, aspan := obstrace.StartSpan(jobCtx, "campaign.aggregate")
 						outcomes[j.Index] = outcomeOf(j, res)
+						aspan.End()
+						jspan.End()
 						jobTime := time.Since(busy)
 						metricJobSeconds.With().ObserveDuration(jobTime)
 						metricWorkerBusySeconds.With().Add(jobTime.Seconds())
+						slowest.insert(JobTiming{
+							Index: j.Index, Seed: j.Point.Seed,
+							Label: j.Point.Label(), Seconds: jobTime.Seconds(),
+						})
+						logger.Debug("campaign job done",
+							"job", j.Index, "seed", j.Point.Seed,
+							"duration_ms", float64(jobTime.Nanoseconds())/1e6)
 						report()
 						continue
 					}
 				}
+				jspan.SetAttr("error", err.Error())
+				jspan.End()
 				metricJobsFailed.With().Inc()
+				logger.Error("campaign job failed",
+					"job", j.Index, "seed", j.Point.Seed, "error", err.Error())
 				select {
-				case errc <- fmt.Errorf("campaign: job %d (%s): %w", j.Index, j.Point.Label(), err):
+				case errc <- fmt.Errorf("campaign: job %d (seed %d, %s): %w",
+					j.Index, j.Point.Seed, j.Point.Label(), err):
 				default:
 				}
 				cancel()
@@ -214,6 +324,7 @@ feedLoop:
 		Spec:           spec,
 		Workers:        workers,
 		Aggregate:      AggregateOutcomes(outcomes),
+		SlowestJobs:    slowest.table(),
 		ElapsedSeconds: elapsed.Seconds(),
 	}
 	if elapsed > 0 {

@@ -23,7 +23,28 @@ type RecoveryEstimator struct {
 
 	estD   float64
 	seeded bool
+
+	// freeRunning is true between the first Predict after training (the
+	// estimator takes over the measurement channel) and the next Observe
+	// (a trusted measurement releases it).
+	freeRunning bool
+	// onTransition, when set, is called at the takeover/release boundary
+	// (see SetTransitionHook).
+	onTransition func(takeover bool)
 }
+
+// SetTransitionHook installs fn to be called exactly once per boundary
+// crossing of the detection/recovery state machine: fn(true) when the
+// estimator's free-run estimates start replacing measurements (RLS
+// takeover), fn(false) when a trusted measurement is absorbed again (RLS
+// release). The hook survives Clone, so snapshot/rollback keeps firing
+// events. The closed-loop simulation uses this to stamp rls_takeover /
+// rls_release flight-recorder events.
+func (r *RecoveryEstimator) SetTransitionHook(fn func(takeover bool)) { r.onTransition = fn }
+
+// FreeRunning reports whether the estimator is currently replacing the
+// measurement channel with free-run predictions.
+func (r *RecoveryEstimator) FreeRunning() bool { return r.freeRunning }
 
 // NewRecoveryEstimator builds the estimator; both internal channels use the
 // same RLS configuration.
@@ -42,6 +63,12 @@ func NewRecoveryEstimator(cfg PredictorConfig) (*RecoveryEstimator, error) {
 // Observe trains on a trusted radar measurement (d, dv) with the follower's
 // own speed vF. It resets any free-run in progress.
 func (r *RecoveryEstimator) Observe(d, dv, vF float64) error {
+	if r.freeRunning {
+		r.freeRunning = false
+		if r.onTransition != nil {
+			r.onTransition(false)
+		}
+	}
 	r.seeded = false
 	if _, err := r.dist.Observe(d); err != nil {
 		return err
@@ -81,6 +108,12 @@ func (r *RecoveryEstimator) CatchUp() {
 // trend; subsequent calls integrate the kinematics. The leader speed is
 // clamped at zero (vehicles do not reverse) and the distance at zero.
 func (r *RecoveryEstimator) Predict(vF float64) (d, dv float64) {
+	if !r.freeRunning {
+		r.freeRunning = true
+		if r.onTransition != nil {
+			r.onTransition(true)
+		}
+	}
 	vL := r.leader.Predict()
 	if vL < 0 {
 		vL = 0
@@ -103,9 +136,11 @@ func (r *RecoveryEstimator) Predict(vF float64) (d, dv float64) {
 // simulation snapshots it at verified-clean challenge instants).
 func (r *RecoveryEstimator) Clone() *RecoveryEstimator {
 	return &RecoveryEstimator{
-		dist:   r.dist.Clone(),
-		leader: r.leader.Clone(),
-		estD:   r.estD,
-		seeded: r.seeded,
+		dist:         r.dist.Clone(),
+		leader:       r.leader.Clone(),
+		estD:         r.estD,
+		seeded:       r.seeded,
+		freeRunning:  r.freeRunning,
+		onTransition: r.onTransition,
 	}
 }

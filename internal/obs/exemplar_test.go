@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestObserveExemplar(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h_seconds", "help", []float64{0.1, 1}).With()
+	h.ObserveExemplar(0.05, "trace-a")
+	h.ObserveExemplar(0.07, "trace-b") // same bucket: replaces trace-a
+	h.ObserveExemplar(0.5, "")         // no trace: counted, no exemplar
+	h.ObserveExemplar(5, "trace-c")    // +Inf bucket
+
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", h.Count())
+	}
+	snap := reg.Snapshot()
+	if len(snap) != 1 || len(snap[0].Metrics) != 1 {
+		t.Fatalf("unexpected snapshot shape: %+v", snap)
+	}
+	buckets := snap[0].Metrics[0].Buckets
+	if len(buckets) != 3 {
+		t.Fatalf("got %d buckets, want 3", len(buckets))
+	}
+	if ex := buckets[0].Exemplar; ex == nil || ex.TraceID != "trace-b" || ex.Value != 0.07 {
+		t.Errorf("bucket 0 exemplar = %+v, want trace-b/0.07", buckets[0].Exemplar)
+	}
+	if buckets[1].Exemplar != nil {
+		t.Errorf("bucket 1 exemplar = %+v, want none (untraced observation)", buckets[1].Exemplar)
+	}
+	if ex := buckets[2].Exemplar; ex == nil || ex.TraceID != "trace-c" {
+		t.Errorf("+Inf bucket exemplar = %+v, want trace-c", buckets[2].Exemplar)
+	}
+}
+
+func TestPrometheusExemplarRendering(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("req_seconds", "latency", []float64{1}).With()
+	h.ObserveExemplar(0.25, "abc123")
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := `req_seconds_bucket{le="1"} 1 # {trace_id="abc123"} 0.25`
+	if !strings.Contains(out, want) {
+		t.Errorf("exposition missing exemplar line %q:\n%s", want, out)
+	}
+	// Buckets without exemplars render classic text format unchanged.
+	if !strings.Contains(out, "req_seconds_bucket{le=\"+Inf\"} 1\n") {
+		t.Errorf("+Inf bucket line altered:\n%s", out)
+	}
+}

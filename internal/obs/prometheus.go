@@ -66,7 +66,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 					if i < len(c.upper) {
 						le = formatFloat(c.upper[i])
 					}
-					writeSample(bw, f.name, "_bucket", f.labels, values, "le", le, float64(cum))
+					writeSampleExemplar(bw, f.name, "_bucket", f.labels, values, "le", le,
+						float64(cum), c.exemplars[i].Load())
 				}
 				writeSample(bw, f.name, "_sum", f.labels, values, "", "", c.Sum())
 				writeSample(bw, f.name, "_count", f.labels, values, "", "", float64(cum))
@@ -78,6 +79,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 // writeSample emits one `name_suffix{labels,extra="v"} value` line.
 func writeSample(bw *bufio.Writer, name, suffix string, labels, values []string, extraLabel, extraValue string, v float64) {
+	writeSampleExemplar(bw, name, suffix, labels, values, extraLabel, extraValue, v, nil)
+}
+
+// writeSampleExemplar additionally appends an OpenMetrics-style exemplar
+// (` # {trace_id="..."} value`) linking the bucket to the trace that fed
+// it; exposition stays valid classic text format when ex is nil.
+func writeSampleExemplar(bw *bufio.Writer, name, suffix string, labels, values []string, extraLabel, extraValue string, v float64, ex *Exemplar) {
 	bw.WriteString(name)
 	bw.WriteString(suffix)
 	if len(labels) > 0 || extraLabel != "" {
@@ -106,6 +114,12 @@ func writeSample(bw *bufio.Writer, name, suffix string, labels, values []string,
 	}
 	bw.WriteByte(' ')
 	bw.WriteString(formatFloat(v))
+	if ex != nil {
+		bw.WriteString(` # {trace_id="`)
+		bw.WriteString(escapeLabel(ex.TraceID))
+		bw.WriteString(`"} `)
+		bw.WriteString(formatFloat(ex.Value))
+	}
 	bw.WriteByte('\n')
 }
 

@@ -173,13 +173,26 @@ func addFloat(bits *atomic.Uint64, delta float64) {
 
 // Histogram counts observations into fixed cumulative-at-render buckets.
 type Histogram struct {
-	upper  []float64
-	counts []atomic.Uint64 // len(upper)+1; the last is +Inf
-	sum    atomic.Uint64   // float64 bits
+	upper     []float64
+	counts    []atomic.Uint64 // len(upper)+1; the last is +Inf
+	sum       atomic.Uint64   // float64 bits
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one observed value to the trace that produced it, so a
+// histogram bucket in /metrics can point at a concrete request or run in
+// /debug/traces.
+type Exemplar struct {
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id"`
 }
 
 func newHistogram(upper []float64) *Histogram {
-	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
+	return &Histogram{
+		upper:     upper,
+		counts:    make([]atomic.Uint64, len(upper)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(upper)+1),
+	}
 }
 
 // Observe records one value (NaN is dropped).
@@ -190,6 +203,21 @@ func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.upper, v) // first bucket with upper >= v
 	h.counts[i].Add(1)
 	addFloat(&h.sum, v)
+}
+
+// ObserveExemplar records v and, when traceID is non-empty, replaces the
+// matching bucket's exemplar with (v, traceID). The write is a single
+// atomic pointer swap, keeping the hot path lock-free.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	addFloat(&h.sum, v)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID})
+	}
 }
 
 // ObserveDuration records d in seconds.
@@ -262,10 +290,12 @@ type (
 		Buckets []BucketSnapshot  `json:"buckets,omitempty"`
 	}
 	// BucketSnapshot is one cumulative histogram bucket; the final bucket
-	// has UpperBound = +Inf.
+	// has UpperBound = +Inf. Exemplar, when present, is the latest traced
+	// observation that landed in this bucket.
 	BucketSnapshot struct {
-		UpperBound float64 `json:"le"`
-		Count      uint64  `json:"count"`
+		UpperBound float64   `json:"le"`
+		Count      uint64    `json:"count"`
+		Exemplar   *Exemplar `json:"exemplar,omitempty"`
 	}
 )
 
@@ -316,7 +346,9 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 					if i < len(c.upper) {
 						ub = c.upper[i]
 					}
-					m.Buckets = append(m.Buckets, BucketSnapshot{UpperBound: ub, Count: cum})
+					m.Buckets = append(m.Buckets, BucketSnapshot{
+						UpperBound: ub, Count: cum, Exemplar: c.exemplars[i].Load(),
+					})
 				}
 				m.Count = cum
 				m.Sum = c.Sum()

@@ -1,0 +1,359 @@
+// Package trace is the stdlib-only tracing half of the observability
+// layer: randomly-generated trace and span IDs with parent linkage,
+// context propagation helpers, and a bounded in-memory ring-buffer store
+// with head sampling. It deliberately mirrors the shape (not the wire
+// format) of W3C/OTel tracing — a trace is the tree of spans sharing one
+// trace ID — while staying small enough to audit in one sitting.
+//
+// The package also integrates with runtime/trace: when the Go execution
+// tracer is running (`safesensed -pprof-addr` + /debug/pprof/trace, or a
+// test's -trace flag), every root span opens a runtime/trace Task and
+// every child span opens a Region, so `go tool trace` shows campaign
+// jobs and simulation runs natively in its user-defined-tasks view.
+//
+// Spans are single-goroutine objects (start, annotate, and end one span
+// on the same goroutine); the store they flush into is safe for
+// concurrent use. A span started without a parent in its context is
+// inert: every method is a no-op, so library code can instrument
+// unconditionally and pay nothing when nobody is tracing.
+package trace
+
+import (
+	"context"
+	"math/rand/v2"
+	rt "runtime/trace"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NewTraceID returns a fresh 16-hex-digit trace ID.
+func NewTraceID() string { return formatID(rand.Uint64()) }
+
+// NewSpanID returns a fresh 16-hex-digit span ID.
+func NewSpanID() string { return formatID(rand.Uint64()) }
+
+// formatID renders a non-zero 64-bit ID as fixed-width hex.
+func formatID(v uint64) string {
+	if v == 0 {
+		v = 1
+	}
+	const hexdigits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexdigits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SpanRecord is a completed span as kept by the Store and rendered by
+// the /debug/traces endpoint.
+type SpanRecord struct {
+	TraceID         string    `json:"trace_id"`
+	SpanID          string    `json:"span_id"`
+	ParentID        string    `json:"parent_id,omitempty"`
+	Name            string    `json:"name"`
+	Start           time.Time `json:"start"`
+	DurationSeconds float64   `json:"duration_seconds"`
+	Attrs           []Attr    `json:"attrs,omitempty"`
+}
+
+// Span is one in-flight region of work. The zero value (and any span
+// started without a traced parent) is inert.
+type Span struct {
+	store   *Store
+	rec     SpanRecord
+	sampled bool
+	start   time.Time
+	task    *rt.Task
+	region  *rt.Region
+	ended   bool
+}
+
+// active reports whether the span does anything at all.
+func (s *Span) active() bool {
+	return s != nil && (s.rec.TraceID != "" || s.task != nil || s.region != nil)
+}
+
+// TraceID returns the span's trace ID ("" for an inert span).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.rec.TraceID
+}
+
+// SpanID returns the span's own ID ("" for an inert span).
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.rec.SpanID
+}
+
+// Sampled reports whether the span will be kept by the store on End.
+func (s *Span) Sampled() bool { return s != nil && s.sampled }
+
+// SetAttr annotates the span. Inert spans ignore the call.
+func (s *Span) SetAttr(key, value string) {
+	if !s.active() || s.ended {
+		return
+	}
+	s.rec.Attrs = append(s.rec.Attrs, Attr{Key: key, Value: value})
+}
+
+// SetAttrInt annotates the span with an integer value.
+func (s *Span) SetAttrInt(key string, value int64) {
+	s.SetAttr(key, strconv.FormatInt(value, 10))
+}
+
+// End closes the span, flushes it into the store when sampled, and
+// returns the elapsed wall time. Ending an inert or already-ended span
+// returns 0.
+func (s *Span) End() time.Duration {
+	if !s.active() || s.ended {
+		return 0
+	}
+	s.ended = true
+	d := time.Since(s.start)
+	if s.region != nil {
+		s.region.End()
+	}
+	if s.task != nil {
+		s.task.End()
+	}
+	if s.sampled && s.store != nil {
+		s.rec.DurationSeconds = d.Seconds()
+		s.store.add(s.rec)
+	}
+	return d
+}
+
+// ctxKey carries the current span through a context.
+type ctxKey struct{}
+
+// FromContext returns the current span, or nil when the context is
+// untraced.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// ID returns the trace ID carried by the context ("" when untraced).
+// This is what log records and error responses should attach.
+func ID(ctx context.Context) string { return FromContext(ctx).TraceID() }
+
+// StartSpan opens a child of the context's current span. Without a
+// traced parent the returned span is inert and the context is returned
+// unchanged, so instrumented code costs nothing when nobody traces it.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil || !parent.active() {
+		return ctx, nil
+	}
+	s := &Span{
+		store:   parent.store,
+		sampled: parent.sampled,
+		start:   time.Now(),
+		rec: SpanRecord{
+			TraceID:  parent.rec.TraceID,
+			SpanID:   NewSpanID(),
+			ParentID: parent.rec.SpanID,
+			Name:     name,
+			Start:    time.Now(),
+		},
+	}
+	if rt.IsEnabled() {
+		s.region = rt.StartRegion(ctx, name)
+	}
+	return context.WithValue(ctx, ctxKey{}, s), s
+}
+
+// Sampler decides at trace start (head sampling) whether a new root
+// span's trace is recorded. Implementations must be safe for concurrent
+// use.
+type Sampler interface {
+	Sample(traceID string) bool
+}
+
+// always samples everything (the default).
+type always struct{}
+
+func (always) Sample(string) bool { return true }
+
+// everyN keeps the head of every window of n traces: the 1st, the
+// n+1st, ... — classic head sampling, decided before any span ends.
+type everyN struct {
+	n uint64
+	c atomic.Uint64
+}
+
+func (s *everyN) Sample(string) bool { return (s.c.Add(1)-1)%s.n == 0 }
+
+// SampleEveryN returns a head sampler keeping 1 of every n root spans
+// (n <= 1 keeps everything).
+func SampleEveryN(n int) Sampler {
+	if n <= 1 {
+		return always{}
+	}
+	return &everyN{n: uint64(n)}
+}
+
+// Store is a bounded ring buffer of completed spans. When full, the
+// oldest span is evicted. All methods are safe for concurrent use.
+type Store struct {
+	sampler atomic.Pointer[Sampler]
+
+	mu   sync.Mutex
+	buf  []SpanRecord
+	head int // next write index
+	n    int // filled entries
+}
+
+// DefaultCapacity bounds the default store: at ~4 spans per request or
+// campaign job this holds on the order of the last thousand operations.
+const DefaultCapacity = 4096
+
+// NewStore returns a store keeping at most capacity completed spans
+// (capacity < 1 means DefaultCapacity). Sampling defaults to keeping
+// everything; see SetSampler.
+func NewStore(capacity int) *Store {
+	if capacity < 1 {
+		capacity = DefaultCapacity
+	}
+	st := &Store{buf: make([]SpanRecord, capacity)}
+	var s Sampler = always{}
+	st.sampler.Store(&s)
+	return st
+}
+
+var defaultStore = sync.OnceValue(func() *Store { return NewStore(DefaultCapacity) })
+
+// Default returns the process-wide store (what safesensed serves at
+// /debug/traces).
+func Default() *Store { return defaultStore() }
+
+// SetSampler installs the head sampler applied to subsequent Root calls.
+func (st *Store) SetSampler(s Sampler) {
+	if s == nil {
+		s = always{}
+	}
+	st.sampler.Store(&s)
+}
+
+// Root opens a new trace rooted at this store. traceID may be supplied
+// by the caller (e.g. an inbound X-Request-ID header); empty means a
+// fresh random ID. The root span always carries its trace ID — so logs
+// can reference it — but is recorded only when the head sampler keeps
+// the trace. When the Go execution tracer is running, the root also
+// opens a runtime/trace Task named name.
+func (st *Store) Root(ctx context.Context, name, traceID string) (context.Context, *Span) {
+	if traceID == "" {
+		traceID = NewTraceID()
+	}
+	s := &Span{
+		store:   st,
+		sampled: (*st.sampler.Load()).Sample(traceID),
+		start:   time.Now(),
+		rec: SpanRecord{
+			TraceID: traceID,
+			SpanID:  NewSpanID(),
+			Name:    name,
+			Start:   time.Now(),
+		},
+	}
+	if rt.IsEnabled() {
+		ctx, s.task = rt.NewTask(ctx, name)
+	}
+	return context.WithValue(ctx, ctxKey{}, s), s
+}
+
+// add appends a completed span, evicting the oldest when full.
+func (st *Store) add(rec SpanRecord) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.buf[st.head] = rec
+	st.head = (st.head + 1) % len(st.buf)
+	if st.n < len(st.buf) {
+		st.n++
+	}
+}
+
+// Len returns the number of stored spans.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.n
+}
+
+// Records returns the stored spans, oldest first.
+func (st *Store) Records() []SpanRecord {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]SpanRecord, 0, st.n)
+	start := st.head - st.n
+	if start < 0 {
+		start += len(st.buf)
+	}
+	for i := 0; i < st.n; i++ {
+		out = append(out, st.buf[(start+i)%len(st.buf)])
+	}
+	return out
+}
+
+// Trace returns the stored spans of one trace, oldest first (nil when
+// the trace is unknown or fully evicted).
+func (st *Store) Trace(traceID string) []SpanRecord {
+	var out []SpanRecord
+	for _, rec := range st.Records() {
+		if rec.TraceID == traceID {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// TraceSummary is one trace as listed by Summaries.
+type TraceSummary struct {
+	TraceID string    `json:"trace_id"`
+	Root    string    `json:"root"`
+	Spans   int       `json:"spans"`
+	Start   time.Time `json:"start"`
+}
+
+// Summaries lists the stored traces, oldest first: trace ID, the name
+// of its earliest stored span, and the span count.
+func (st *Store) Summaries() []TraceSummary {
+	recs := st.Records()
+	index := make(map[string]int, len(recs))
+	var out []TraceSummary
+	for _, rec := range recs {
+		i, ok := index[rec.TraceID]
+		if !ok {
+			index[rec.TraceID] = len(out)
+			out = append(out, TraceSummary{
+				TraceID: rec.TraceID, Root: rec.Name, Spans: 1, Start: rec.Start,
+			})
+			continue
+		}
+		out[i].Spans++
+		// Prefer the outermost stored span as the trace's display name:
+		// spans flush inner-first, so any span that started earlier and
+		// is a parent candidate wins.
+		if rec.Start.Before(out[i].Start) || rec.ParentID == "" {
+			out[i].Root = rec.Name
+			if rec.Start.Before(out[i].Start) {
+				out[i].Start = rec.Start
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+func TestIDsAreHexAndDistinct(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if len(id) != 16 {
+			t.Fatalf("trace ID %q: want 16 hex digits", id)
+		}
+		for _, c := range id {
+			if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+				t.Fatalf("trace ID %q: non-hex digit %q", id, c)
+			}
+		}
+		if seen[id] {
+			t.Fatalf("trace ID %q repeated within 1000 draws", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestRootAndChildLinkage(t *testing.T) {
+	st := NewStore(16)
+	ctx, root := st.Root(context.Background(), "root", "")
+	if root.TraceID() == "" || root.SpanID() == "" {
+		t.Fatal("root span missing IDs")
+	}
+	if !root.Sampled() {
+		t.Fatal("default sampler must keep everything")
+	}
+
+	ctx2, child := StartSpan(ctx, "child")
+	if child.TraceID() != root.TraceID() {
+		t.Errorf("child trace = %q, want %q", child.TraceID(), root.TraceID())
+	}
+	_, grand := StartSpan(ctx2, "grandchild")
+	grand.SetAttr("k", "v")
+	grand.End()
+	child.End()
+	root.SetAttrInt("jobs", 42)
+	root.End()
+
+	recs := st.Trace(root.TraceID())
+	if len(recs) != 3 {
+		t.Fatalf("stored %d spans, want 3", len(recs))
+	}
+	// Spans flush on End, so the order is grandchild, child, root.
+	if recs[0].Name != "grandchild" || recs[1].Name != "child" || recs[2].Name != "root" {
+		t.Fatalf("unexpected span order: %q %q %q", recs[0].Name, recs[1].Name, recs[2].Name)
+	}
+	if recs[0].ParentID != recs[1].SpanID {
+		t.Error("grandchild not parented to child")
+	}
+	if recs[1].ParentID != recs[2].SpanID {
+		t.Error("child not parented to root")
+	}
+	if recs[2].ParentID != "" {
+		t.Error("root must have no parent")
+	}
+	if len(recs[2].Attrs) != 1 || recs[2].Attrs[0].Key != "jobs" || recs[2].Attrs[0].Value != "42" {
+		t.Errorf("root attrs = %+v", recs[2].Attrs)
+	}
+}
+
+func TestHonorsCallerTraceID(t *testing.T) {
+	st := NewStore(4)
+	_, root := st.Root(context.Background(), "req", "demo")
+	if root.TraceID() != "demo" {
+		t.Fatalf("trace ID = %q, want demo", root.TraceID())
+	}
+	root.End()
+	if got := st.Trace("demo"); len(got) != 1 {
+		t.Fatalf("Trace(demo) = %d spans, want 1", len(got))
+	}
+}
+
+func TestInertSpanWithoutParent(t *testing.T) {
+	ctx, span := StartSpan(context.Background(), "orphan")
+	if span.TraceID() != "" || span.Sampled() {
+		t.Fatal("span without traced parent must be inert")
+	}
+	// All methods must be safe no-ops.
+	span.SetAttr("k", "v")
+	if d := span.End(); d != 0 {
+		t.Errorf("inert End = %v, want 0", d)
+	}
+	if got := FromContext(ctx); got != nil {
+		t.Errorf("inert StartSpan must not install a span, got %+v", got)
+	}
+	if ID(ctx) != "" {
+		t.Errorf("ID of untraced context = %q, want empty", ID(ctx))
+	}
+}
+
+func TestDoubleEndIsIdempotent(t *testing.T) {
+	st := NewStore(4)
+	_, root := st.Root(context.Background(), "r", "")
+	root.End()
+	root.End()
+	if st.Len() != 1 {
+		t.Fatalf("double End stored %d spans, want 1", st.Len())
+	}
+}
+
+// TestRingEvictionAndOrdering pins the satellite requirement: at
+// capacity the store drops the oldest spans and Records stays ordered
+// oldest-first.
+func TestRingEvictionAndOrdering(t *testing.T) {
+	const capacity = 4
+	st := NewStore(capacity)
+	for i := 0; i < 7; i++ {
+		_, s := st.Root(context.Background(), fmt.Sprintf("span-%d", i), "")
+		s.End()
+	}
+	if st.Len() != capacity {
+		t.Fatalf("Len = %d, want %d", st.Len(), capacity)
+	}
+	recs := st.Records()
+	if len(recs) != capacity {
+		t.Fatalf("Records = %d, want %d", len(recs), capacity)
+	}
+	for i, rec := range recs {
+		want := fmt.Sprintf("span-%d", 7-capacity+i)
+		if rec.Name != want {
+			t.Errorf("Records[%d] = %q, want %q (oldest evicted, oldest-first order)", i, rec.Name, want)
+		}
+	}
+}
+
+func TestHeadSampling(t *testing.T) {
+	st := NewStore(16)
+	st.SetSampler(SampleEveryN(3))
+	kept := 0
+	for i := 0; i < 9; i++ {
+		_, s := st.Root(context.Background(), "r", "")
+		// Even unsampled roots must keep their trace ID for logging.
+		if s.TraceID() == "" {
+			t.Fatal("unsampled root lost its trace ID")
+		}
+		if s.Sampled() {
+			kept++
+		}
+		s.End()
+	}
+	if kept != 3 {
+		t.Errorf("kept %d of 9 roots at 1-in-3 head sampling, want 3", kept)
+	}
+	// Children inherit the head decision.
+	st2 := NewStore(16)
+	st2.SetSampler(SampleEveryN(2))
+	ctx, root := st2.Root(context.Background(), "kept", "")
+	_, child := StartSpan(ctx, "c")
+	if !child.Sampled() {
+		t.Error("child of sampled root must be sampled")
+	}
+	child.End()
+	root.End()
+	ctx, root = st2.Root(context.Background(), "dropped", "")
+	_, child = StartSpan(ctx, "c")
+	if child.Sampled() {
+		t.Error("child of unsampled root must not be sampled")
+	}
+	child.End()
+	root.End()
+	if got := st2.Len(); got != 2 {
+		t.Errorf("stored %d spans, want 2 (the sampled root + child only)", got)
+	}
+}
+
+func TestSummaries(t *testing.T) {
+	st := NewStore(16)
+	ctx, root := st.Root(context.Background(), "campaign", "t1")
+	_, child := StartSpan(ctx, "job")
+	child.End()
+	root.End()
+	_, other := st.Root(context.Background(), "run", "t2")
+	other.End()
+
+	sums := st.Summaries()
+	if len(sums) != 2 {
+		t.Fatalf("Summaries = %d traces, want 2", len(sums))
+	}
+	if sums[0].TraceID != "t1" || sums[0].Spans != 2 || sums[0].Root != "campaign" {
+		t.Errorf("trace t1 summary = %+v", sums[0])
+	}
+	if sums[1].TraceID != "t2" || sums[1].Spans != 1 || sums[1].Root != "run" {
+		t.Errorf("trace t2 summary = %+v", sums[1])
+	}
+}
+
+func BenchmarkSpanStartEnd(b *testing.B) {
+	st := NewStore(1024)
+	ctx, root := st.Root(context.Background(), "bench", "")
+	defer root.End()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, s := StartSpan(ctx, "child")
+		s.End()
+	}
+}
+
+func BenchmarkInertSpan(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, s := StartSpan(ctx, "child")
+		s.SetAttr("k", "v")
+		s.End()
+	}
+}

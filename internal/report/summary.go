@@ -34,6 +34,14 @@ type RunSummary struct {
 	VelMaxErrMps  float64 `json:"vel_max_err_mps"`
 	RLSTimeNs     int64   `json:"rls_time_ns"`
 
+	// Events is the flight-recorder timeline: challenge instants, CRA
+	// detections, RLS takeover/release, exceedances, collisions — each
+	// stamped with its timestep k.
+	Events []sim.FlightEvent `json:"events,omitempty"`
+	// Anomalies carries the recorder's last-N state dumps for collisions
+	// and challenge-instant detector confusion.
+	Anomalies []sim.AnomalyDump `json:"anomalies,omitempty"`
+
 	// Traces holds the distance / velocity / speed trace sets when the
 	// caller asked for them (see Summarize's includeTraces).
 	Traces *RunTraces `json:"traces,omitempty"`
@@ -69,6 +77,8 @@ func Summarize(res *sim.Result, includeTraces bool) RunSummary {
 		VelRMSEmps:     res.EstimateVelRMSE,
 		VelMaxErrMps:   res.EstimateVelMaxErr,
 		RLSTimeNs:      res.RLSTime.Nanoseconds(),
+		Events:         res.Flight,
+		Anomalies:      res.Anomalies,
 	}
 	if includeTraces {
 		s.Traces = &RunTraces{

@@ -2,6 +2,7 @@ package report
 
 import (
 	"encoding/json"
+	"reflect"
 	"testing"
 
 	"safesense/internal/sim"
@@ -30,8 +31,11 @@ func TestSummarizeRoundTripsJSON(t *testing.T) {
 	if err := json.Unmarshal(b, &back); err != nil {
 		t.Fatal(err)
 	}
-	if back != sum {
+	if !reflect.DeepEqual(back, sum) {
 		t.Fatal("summary did not survive a JSON round trip")
+	}
+	if len(sum.Events) == 0 {
+		t.Fatal("flight-recorder events must ride along in the summary")
 	}
 }
 

@@ -1,7 +1,10 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	rt "runtime/trace"
+	"strconv"
 	"time"
 
 	"safesense/internal/acc"
@@ -10,6 +13,7 @@ import (
 	"safesense/internal/estimate"
 	"safesense/internal/noise"
 	"safesense/internal/obs"
+	obstrace "safesense/internal/obs/trace"
 	"safesense/internal/radar"
 	"safesense/internal/stats"
 	"safesense/internal/trace"
@@ -73,12 +77,36 @@ type Result struct {
 	// phases (see the Phase* constants); cumulative per run, also fed
 	// into the safesense_sim_phase_seconds histogram.
 	Phases []PhaseTiming
+
+	// Flight is the run's flight-recorder timeline: challenge instants,
+	// detector transitions, RLS takeover/release, gap exceedances, and
+	// collisions, each stamped with timestep k in emission order.
+	Flight []FlightEvent
+	// Anomalies holds the last-N-timestep state dumps captured when a
+	// collision or a challenge-instant false positive/negative occurred
+	// (at most maxAnomalyDumps per run).
+	Anomalies []AnomalyDump
 }
 
-// Run executes the scenario.
-func Run(s Scenario) (*Result, error) {
+// Run executes the scenario (untraced; see RunContext).
+func Run(s Scenario) (*Result, error) { return RunContext(context.Background(), s) }
+
+// RunContext executes the scenario. When ctx carries a trace span (see
+// internal/obs/trace) the run records a child span annotated with the
+// scenario identity and outcome, and — when the Go execution tracer is
+// on — per-phase runtime/trace regions, so `go tool trace` shows the
+// pipeline phases natively.
+func RunContext(ctx context.Context, s Scenario) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
+	}
+	ctx, span := obstrace.StartSpan(ctx, "sim.run")
+	defer span.End()
+	if span.Sampled() {
+		span.SetAttr("scenario", s.Name)
+		span.SetAttr("attack", s.Attack.Kind.String())
+		span.SetAttrInt("seed", s.Seed)
+		span.SetAttrInt("steps", int64(s.Steps))
 	}
 	src := noise.NewSource(s.Seed)
 	atk, err := buildAttack(s, src)
@@ -90,7 +118,10 @@ func Run(s Scenario) (*Result, error) {
 	tCRA := obs.NewTimer(PhaseCRACheck)
 	tRLS := obs.NewTimer(PhaseRLSEstimation)
 	tVehicle := obs.NewTimer(PhaseVehicleStep)
-	measure, threshold, err := buildMeasurePipeline(s, atk, src, tRadar, tExtract)
+	// rtOn hoists the execution-tracer check out of the step loop; when
+	// off, phase regions cost one branch per step.
+	rtOn := rt.IsEnabled()
+	measure, threshold, err := buildMeasurePipeline(ctx, s, atk, src, tRadar, tExtract, rtOn)
 	if err != nil {
 		return nil, err
 	}
@@ -107,10 +138,20 @@ func Run(s Scenario) (*Result, error) {
 		return nil, err
 	}
 
+	fr := newFlightRecorder()
+	res := new(Result) // declared early so the estimate hook can read EstimateSteps
+	pred.SetTransitionHook(func(takeover bool) {
+		if takeover {
+			fr.emit(EventRLSTakeover, 0, "estimates replacing the measurement channel")
+		} else {
+			fr.emit(EventRLSRelease, float64(res.EstimateSteps), "trusted measurements resumed")
+		}
+	})
+
 	leader := vehicle.State{Position: s.InitialGap, Velocity: s.LeaderSpeed}
 	follower := vehicle.State{Position: 0, Velocity: s.SetSpeed}
 
-	res := &Result{
+	*res = Result{
 		Scenario:    s,
 		Distance:    trace.NewSet(s.Name+": relative distance", "time (s)", "distance (m)"),
 		Velocity:    trace.NewSet(s.Name+": relative velocity", "time (s)", "velocity (m/s)"),
@@ -140,6 +181,7 @@ func Run(s Scenario) (*Result, error) {
 	var predSnapshot *estimate.RecoveryEstimator
 
 	for k := 0; k < s.Steps; k++ {
+		fr.k = k
 		// Leader dynamics (Eqn 15/17); standstill saturation in Step.
 		la := s.LeaderProfile.Accel(k)
 		if leader.Velocity <= 0 && la < 0 {
@@ -157,18 +199,39 @@ func Run(s Scenario) (*Result, error) {
 		m := measure(k, d, dv)
 		dMeas.Append(k, m.Distance)
 		vMeas.Append(k, m.RelVelocity)
+		if m.Challenge {
+			fr.emit(EventChallenge, m.Power, "")
+		}
 
 		useD, useV := m.Distance, m.RelVelocity
 		underAttack := false
 		if s.Defended {
+			var rg *rt.Region
+			if rtOn {
+				rg = rt.StartRegion(ctx, PhaseCRACheck)
+			}
 			craSpan := tCRA.Start()
 			ev := det.Step(m)
 			craSpan.End()
+			if rg != nil {
+				rg.End()
+			}
 			res.Events = append(res.Events, ev)
 			if ev.Detected && res.DetectedAt < 0 {
 				res.DetectedAt = k
 			}
 			underAttack = ev.State == cra.UnderAttack
+			switch {
+			case ev.Detected:
+				fr.emit(EventCRAFlagged, m.Power, "challenge instant read hot")
+				if !atk.Active(k) {
+					fr.flagAnomaly(AnomalyFalsePositive, "flagged with no attack active")
+				}
+			case ev.ClearedNow:
+				fr.emit(EventCRACleared, m.Power, "challenge instant read quiet")
+			case ev.Challenged && ev.State == cra.Clear && atk.Active(k):
+				fr.flagAnomaly(AnomalyFalseNegative, "quiet challenge under active attack")
+			}
 			if ev.Detected && predSnapshot != nil {
 				// Discard the possibly poisoned samples absorbed since
 				// the last verified-clean challenge: restore and free-run
@@ -186,9 +249,16 @@ func Run(s Scenario) (*Result, error) {
 		case s.Defended && underAttack:
 			if pred.Ready() {
 				// Algorithm 2 line 11: estimate for the attack duration.
+				var rg *rt.Region
+				if rtOn {
+					rg = rt.StartRegion(ctx, PhaseRLSEstimation)
+				}
 				sp := tRLS.Start()
 				useD, useV = pred.Predict(follower.Velocity)
 				res.RLSTime += sp.End()
+				if rg != nil {
+					rg.End()
+				}
 				res.EstimateSteps++
 				dEst.Append(k, useD)
 				vEst.Append(k, useV)
@@ -196,6 +266,18 @@ func Run(s Scenario) (*Result, error) {
 				estV = append(estV, useV)
 				truthD = append(truthD, d)
 				truthV = append(truthV, dv)
+				gapErr := useD - d
+				if gapErr < 0 {
+					gapErr = -gapErr
+				}
+				if gapErr > GapExceedanceM {
+					if !fr.inExceed {
+						fr.emit(EventGapExceedance, gapErr, "estimate drifted from truth")
+						fr.inExceed = true
+					}
+				} else {
+					fr.inExceed = false
+				}
 			} else {
 				// Attack flagged before the fit is determined: the
 				// corrupted measurement must not reach the controller
@@ -213,6 +295,7 @@ func Run(s Scenario) (*Result, error) {
 			}
 		default:
 			// Accepted measurement: train the predictor on it.
+			fr.inExceed = false
 			if s.Defended {
 				sp := tRLS.Start()
 				err := pred.Observe(m.Distance, m.RelVelocity, follower.Velocity)
@@ -224,10 +307,17 @@ func Run(s Scenario) (*Result, error) {
 		}
 		heldD, heldV = useD, useV
 
+		var vehRg *rt.Region
+		if rtOn {
+			vehRg = rt.StartRegion(ctx, PhaseVehicleStep)
+		}
 		vehSpan := tVehicle.Start()
 		_, aF := ctl.Step(useD, useV, follower.Velocity, true)
 		follower = follower.Step(aF, 1)
 		vehSpan.End()
+		if vehRg != nil {
+			vehRg.End()
+		}
 
 		gap := vehicle.Gap(leader, follower)
 		if gap < res.MinGap {
@@ -235,7 +325,21 @@ func Run(s Scenario) (*Result, error) {
 		}
 		if gap <= 0 && res.CollisionAt < 0 {
 			res.CollisionAt = k
+			fr.emit(EventCollision, gap, "leader-follower gap reached zero")
+			fr.flagAnomaly(AnomalyCollision, "")
 		}
+		fr.endStep(StepState{
+			K: k, GapM: gap, RelVelMps: dv,
+			MeasuredM: m.Distance, UsedM: useD,
+			FollowerMps: follower.Velocity, LeaderMps: leader.Velocity,
+			UnderAttack: underAttack,
+		})
+	}
+
+	// A run that ends while still estimating releases the channel at the
+	// horizon, so every takeover has a matching release in the timeline.
+	if s.Defended && pred.FreeRunning() {
+		fr.emit(EventRLSRelease, float64(res.EstimateSteps), "run ended while estimating")
 	}
 
 	res.FinalFollowerSpeed = follower.Velocity
@@ -252,6 +356,15 @@ func Run(s Scenario) (*Result, error) {
 		})
 	}
 	res.Phases = recordPhases([]*obs.Timer{tRadar, tExtract, tCRA, tRLS, tVehicle})
+	res.Flight = fr.events
+	res.Anomalies = fr.anomalies
+	if span.Sampled() {
+		span.SetAttr("detected_at", strconv.Itoa(res.DetectedAt))
+		span.SetAttrInt("flight_events", int64(len(res.Flight)))
+		if res.CollisionAt >= 0 {
+			span.SetAttr("collision_at", strconv.Itoa(res.CollisionAt))
+		}
+	}
 	return res, nil
 }
 
@@ -279,17 +392,25 @@ type measureFunc func(k int, d, dv float64) radar.Measurement
 // high-fidelity signal pipeline (radar.SignalFrontEnd + sweep-level attack
 // transform), returning the measurement closure and the detector's
 // quiet-channel threshold. synth times sweep synthesis + corruption;
-// extract times the beat-spectrum estimator (signal pipeline only).
-func buildMeasurePipeline(s Scenario, atk attack.Attack, src *noise.Source, synth, extract *obs.Timer) (measureFunc, float64, error) {
+// extract times the beat-spectrum estimator (signal pipeline only). When
+// rtOn, each phase additionally opens a runtime/trace region on ctx.
+func buildMeasurePipeline(ctx context.Context, s Scenario, atk attack.Attack, src *noise.Source, synth, extract *obs.Timer, rtOn bool) (measureFunc, float64, error) {
 	if !s.SignalLevel {
 		fe, err := radar.NewFrontEnd(s.Radar, s.Schedule, src)
 		if err != nil {
 			return nil, 0, err
 		}
 		return func(k int, d, dv float64) radar.Measurement {
+			var rg *rt.Region
+			if rtOn {
+				rg = rt.StartRegion(ctx, PhaseRadarSynthesis)
+			}
 			sp := synth.Start()
 			m := atk.Corrupt(k, fe.Observe(k, d, dv))
 			sp.End()
+			if rg != nil {
+				rg.End()
+			}
 			return m
 		}, fe.ZeroThreshold(), nil
 	}
@@ -307,15 +428,28 @@ func buildMeasurePipeline(s Scenario, atk attack.Attack, src *noise.Source, synt
 	}
 	sweepAtk, signalCapable := atk.(radar.SweepCorruptor)
 	return func(k int, d, dv float64) radar.Measurement {
+		var rg *rt.Region
+		if rtOn {
+			rg = rt.StartRegion(ctx, PhaseRadarSynthesis)
+		}
 		sp := synth.Start()
 		sweep, challenge := sfe.ObserveSweep(k, d, dv)
 		if signalCapable {
 			sweep = sweepAtk.CorruptSweep(k, sweep, challenge)
 		}
 		sp.End()
+		if rg != nil {
+			rg.End()
+		}
+		if rtOn {
+			rg = rt.StartRegion(ctx, PhaseBeatExtraction)
+		}
 		ep := extract.Start()
 		m := sfe.Measure(k, sweep, challenge)
 		ep.End()
+		if rg != nil {
+			rg.End()
+		}
 		if !signalCapable {
 			// Attacks without a physical-channel model (e.g. the fast
 			// adversary) corrupt the extracted measurement instead.
