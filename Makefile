@@ -5,7 +5,7 @@ GO ?= go
 # without letting coverage rot.
 COVER_MIN ?= 78
 
-.PHONY: all build test race vet fmt-check bench bench-smoke cover check
+.PHONY: all build test race race-hot vet fmt-check lint fuzz-smoke bench bench-smoke cover check
 
 all: check
 
@@ -27,6 +27,25 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# lint runs the repo's own stdlib-only analyzers (cmd/safesense-lint)
+# plus go vet and the gofmt check — the full static gate.
+lint: vet fmt-check
+	$(GO) run ./cmd/safesense-lint ./...
+
+# race-hot focuses the race detector on the concurrent subsystems
+# (worker pool, lock-free metrics, flight recorder, HTTP service) for a
+# fast signal; `make race` still covers the whole module.
+race-hot:
+	$(GO) test -race ./internal/sim ./internal/campaign ./internal/obs/... ./cmd/safesensed
+
+# fuzz-smoke runs each fuzz target briefly so the corpora and oracles
+# can't bit-rot; CI runs this on every push. Longer local sessions:
+#   go test -fuzz=FuzzReadCSV -fuzztime=5m ./internal/trace
+FUZZ_TIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=$(FUZZ_TIME) ./internal/trace
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeSpec -fuzztime=$(FUZZ_TIME) ./internal/campaign
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -44,4 +63,4 @@ cover:
 	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t+0 >= min+0) ? 0 : 1 }' \
 		|| { echo "coverage $$total% is below the $(COVER_MIN)% floor"; exit 1; }
 
-check: build vet fmt-check test race cover
+check: build lint test race cover

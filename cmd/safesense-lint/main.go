@@ -1,0 +1,65 @@
+// Command safesense-lint runs the repo's domain analyzers — the
+// machine-checked invariants behind the paper reproduction:
+//
+//	determinism   no wall clocks / global RNG / map-ordered output in
+//	              the scenario pipeline
+//	floatcmp      no raw == / != on floats in the numeric kernels
+//	hotpathalloc  no fmt, capturing closures, or interface boxing in
+//	              //safesense:hotpath functions
+//	metriclabels  constant label keys, bounded label values at
+//	              internal/obs call sites
+//
+// It is built purely on go/parser + go/types + go/importer, so it
+// needs nothing outside the standard library. CI and humans share one
+// entry point:
+//
+//	safesense-lint ./...                    # whole module, human output
+//	safesense-lint -json internal/sim/...   # one subtree, machine output
+//	safesense-lint -tests=false ./...       # skip _test.go files
+//
+// Exit status: 0 clean, 1 diagnostics found, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"safesense/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("safesense-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	tests := fs.Bool("tests", true, "analyze _test.go files too")
+	root := fs.String("root", ".", "module root (directory containing go.mod)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: safesense-lint [-json] [-tests=false] [-root dir] [packages...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	report, err := lint.Run(*root, fs.Args(), lint.All(), *tests)
+	if err != nil {
+		fmt.Fprintln(stderr, "safesense-lint:", err)
+		return 2
+	}
+	if *jsonOut {
+		if err := report.WriteJSON(stdout); err != nil {
+			fmt.Fprintln(stderr, "safesense-lint:", err)
+			return 2
+		}
+	} else {
+		report.WriteText(stdout)
+	}
+	if !report.Clean() {
+		return 1
+	}
+	return 0
+}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
-	"strconv"
 	"strings"
 	"time"
 
@@ -49,6 +48,43 @@ func routePattern(r *http.Request) string {
 	default:
 		return "other"
 	}
+}
+
+// statusLabel maps an HTTP status code onto the fixed vocabulary used
+// as the metrics status label. Codes the server actually emits keep
+// their exact value; anything else collapses to its class bucket, so
+// the label cardinality is bounded no matter what a handler writes
+// (the metriclabels analyzer forbids formatting the raw int).
+func statusLabel(status int) string {
+	switch status {
+	case http.StatusOK:
+		return "200"
+	case http.StatusAccepted:
+		return "202"
+	case http.StatusBadRequest:
+		return "400"
+	case http.StatusNotFound:
+		return "404"
+	case http.StatusRequestEntityTooLarge:
+		return "413"
+	case http.StatusInternalServerError:
+		return "500"
+	case http.StatusServiceUnavailable:
+		return "503"
+	}
+	switch {
+	case status >= 100 && status < 200:
+		return "1xx"
+	case status < 300:
+		return "2xx"
+	case status < 400:
+		return "3xx"
+	case status < 500:
+		return "4xx"
+	case status < 600:
+		return "5xx"
+	}
+	return "other"
 }
 
 // requestIDHeader is the inbound/outbound correlation header. A sane
@@ -160,7 +196,7 @@ func (s *Server) withObservability(next http.Handler) http.Handler {
 				span.SetAttrInt("status", int64(status))
 			}
 			span.End()
-			s.metrics.requests.With(r.Method, route, strconv.Itoa(status)).Inc()
+			s.metrics.requests.With(r.Method, route, statusLabel(status)).Inc()
 			s.metrics.latency.With(r.Method, route).ObserveExemplar(elapsed.Seconds(), id)
 			log.Info("request",
 				"method", r.Method, "path", r.URL.Path, "route", route,

@@ -123,6 +123,19 @@ type Spec struct {
 	JammerPowersMW []float64 `json:"jammer_powers_mw,omitempty"`
 }
 
+// MaxSteps bounds the per-run horizon a spec or point may request. The
+// paper's runs are 301 steps; schedules materialize O(steps) state, so
+// without a ceiling a single JSON body with a nine-digit "steps" would
+// make validation itself allocate gigabytes before any policy check
+// could reject it.
+const MaxSteps = 1 << 20
+
+// maxGridJobs caps the expanded grid size NumJobs will report. The cap
+// exists for arithmetic safety (the axis product cannot overflow), not
+// as an execution policy — safesensed applies its own much lower
+// MaxJobs limit on top.
+const maxGridJobs = int64(1) << 31
+
 // withDefaults fills the zero-value axes.
 func (sp Spec) withDefaults() Spec {
 	if sp.Steps == 0 {
@@ -163,6 +176,9 @@ func (sp Spec) Validate() error {
 	d := sp.withDefaults()
 	if d.Steps < 1 {
 		return fmt.Errorf("campaign: steps must be >= 1, got %d", d.Steps)
+	}
+	if d.Steps > MaxSteps {
+		return fmt.Errorf("campaign: steps %d exceeds the maximum of %d", d.Steps, MaxSteps)
 	}
 	if d.Replicates < 1 {
 		return fmt.Errorf("campaign: replicates must be >= 1, got %d", d.Replicates)
@@ -233,6 +249,9 @@ func (p Point) Scenario() (sim.Scenario, error) {
 	steps := p.Steps
 	if steps == 0 {
 		steps = 301
+	}
+	if steps < 1 || steps > MaxSteps {
+		return sim.Scenario{}, fmt.Errorf("campaign: steps %d outside [1, %d]", steps, MaxSteps)
 	}
 	sched, err := p.Schedule.Build(steps)
 	if err != nil {
@@ -306,7 +325,9 @@ type Job struct {
 // onset → (power | offset) → replicate. Axes irrelevant to an attack kind
 // collapse to a single iteration.
 func (sp Spec) Expand() ([]Job, error) {
-	if err := sp.Validate(); err != nil {
+	// NumJobs both validates and applies the grid-size cap, so Expand
+	// can never be asked to build an absurd or overflowing job list.
+	if _, err := sp.NumJobs(); err != nil {
 		return nil, err
 	}
 	d := sp.withDefaults()
@@ -359,23 +380,37 @@ func (sp Spec) Expand() ([]Job, error) {
 }
 
 // NumJobs returns the expanded grid size without building the jobs.
+// Grids beyond maxGridJobs are rejected outright, keeping the count
+// arithmetic overflow-free no matter what a JSON body claims for axis
+// sizes or replicate counts.
 func (sp Spec) NumJobs() (int, error) {
 	if err := sp.Validate(); err != nil {
 		return 0, err
 	}
 	d := sp.withDefaults()
-	perAttack := 0
+	tooLarge := fmt.Errorf("campaign: grid expands beyond %d jobs", maxGridJobs)
+	perAttack := int64(0)
 	for _, atk := range d.Attacks {
 		switch atk {
 		case AttackNone:
 			perAttack++
 		case AttackDoS:
-			perAttack += len(d.Onsets) * len(d.JammerPowersMW)
+			perAttack += int64(len(d.Onsets)) * int64(len(d.JammerPowersMW))
 		default:
-			perAttack += len(d.Onsets) * len(d.OffsetsM)
+			perAttack += int64(len(d.Onsets)) * int64(len(d.OffsetsM))
+		}
+		if perAttack > maxGridJobs {
+			return 0, tooLarge
 		}
 	}
-	return len(d.Leaders) * len(d.Schedules) * perAttack * d.Replicates, nil
+	total := perAttack
+	for _, f := range []int64{int64(len(d.Leaders)), int64(len(d.Schedules)), int64(d.Replicates)} {
+		if total > maxGridJobs/f {
+			return 0, tooLarge
+		}
+		total *= f
+	}
+	return int(total), nil
 }
 
 // DeriveSeed maps (base seed, job index) to the per-job scenario seed with

@@ -1,0 +1,30 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// DecodeSpec parses a campaign Spec from JSON bytes — the format
+// accepted by safesensed and the campaign CLI tools. Decoding is
+// strict: unknown fields are rejected (a typo like "onset" for
+// "onsets" must fail loudly, not silently sweep the default grid),
+// trailing data after the object is an error, and the decoded spec
+// must pass Validate.
+func DecodeSpec(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sp Spec
+	if err := dec.Decode(&sp); err != nil {
+		return Spec{}, fmt.Errorf("campaign: decoding spec: %w", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return Spec{}, fmt.Errorf("campaign: trailing data after spec object")
+	}
+	if err := sp.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return sp, nil
+}

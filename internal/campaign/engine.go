@@ -15,6 +15,13 @@ import (
 	"safesense/internal/stats"
 )
 
+// wallClock is the engine's injected time source. Campaign results are
+// a pure function of the spec; the clock only feeds wall-clock
+// observability (job timings, throughput, ETA), and routing every read
+// through this seam keeps the determinism analyzer's contract visible
+// and lets tests substitute a fake clock.
+var wallClock = time.Now
+
 // Options tunes campaign execution.
 type Options struct {
 	// Workers bounds the worker pool (<= 0 means GOMAXPROCS).
@@ -211,7 +218,7 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Summary, error) {
 	metricActiveCampaigns.With().Add(1)
 	defer metricActiveCampaigns.With().Add(-1)
 
-	start := time.Now()
+	start := wallClock()
 	outcomes := make([]Outcome, len(jobs))
 
 	feed := make(chan Job)
@@ -231,7 +238,7 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Summary, error) {
 			opt.OnProgress(done, len(jobs))
 		}
 		if opt.OnStats != nil {
-			opt.OnStats(statsAt(done, len(jobs), time.Since(start)))
+			opt.OnStats(statsAt(done, len(jobs), wallClock().Sub(start)))
 		}
 	}
 
@@ -244,7 +251,7 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Summary, error) {
 			defer wg.Done()
 			for {
 				_, qspan := obstrace.StartSpan(ctx, "campaign.queue_wait")
-				idle := time.Now()
+				idle := wallClock()
 				j, ok := <-feed
 				if !ok {
 					qspan.End()
@@ -252,9 +259,9 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Summary, error) {
 				}
 				qspan.SetAttrInt("job", int64(j.Index))
 				qspan.End()
-				metricQueueWaitSeconds.With().ObserveDuration(time.Since(idle))
+				metricQueueWaitSeconds.With().ObserveDuration(wallClock().Sub(idle))
 
-				busy := time.Now()
+				busy := wallClock()
 				jobCtx, jspan := obstrace.StartSpan(ctx, "campaign.job")
 				jspan.SetAttrInt("job", int64(j.Index))
 				jspan.SetAttrInt("seed", j.Point.Seed)
@@ -268,7 +275,7 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Summary, error) {
 						outcomes[j.Index] = outcomeOf(j, res)
 						aspan.End()
 						jspan.End()
-						jobTime := time.Since(busy)
+						jobTime := wallClock().Sub(busy)
 						metricJobSeconds.With().ObserveDuration(jobTime)
 						metricWorkerBusySeconds.With().Add(jobTime.Seconds())
 						slowest.insert(JobTiming{
@@ -318,7 +325,7 @@ feedLoop:
 		return nil, err
 	}
 
-	elapsed := time.Since(start)
+	elapsed := wallClock().Sub(start)
 	sum := &Summary{
 		Name:           spec.Name,
 		Spec:           spec,

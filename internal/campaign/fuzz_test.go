@@ -1,0 +1,70 @@
+package campaign
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeSpec feeds arbitrary bytes through the strict spec
+// decoder. For every input the decoder must not panic; for every
+// accepted spec, the grid arithmetic must be self-consistent:
+// NumJobs equals len(Expand()), jobs are indexed 0..n-1 in order, and
+// expanding twice yields identical jobs (the determinism contract the
+// whole campaign engine rests on).
+func FuzzDecodeSpec(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"sweep","steps":50,"replicates":2,` +
+		`"attacks":["dos","delay","none"],"leaders":["const","phased"],` +
+		`"onsets":[10,20],"offsets_m":[3,6],"jammer_powers_mw":[50,100]}`))
+	f.Add([]byte(`{"schedules":[{"kind":"lfsr","width":5,"reg_len":9,"seed":7}],"attacks":["fast-adversary"]}`))
+	f.Add([]byte(`{"defended":false,"signal_level":true,"base_seed":42}`))
+	f.Add([]byte(`{"steps":-1}`))
+	f.Add([]byte(`{"steps":1000000000}`))
+	f.Add([]byte(`{"replicates":9223372036854775807,"onsets":[1,2,3]}`))
+	f.Add([]byte(`{"unknown_field":1}`))
+	f.Add([]byte(`{} trailing garbage`))
+	f.Add([]byte(`{"attacks":["nope"]}`))
+	f.Add([]byte(`{"onsets":[500]}`))
+
+	// maxFuzzExpand keeps the consistency oracle fast; larger (still
+	// valid) grids are accepted but not expanded under the fuzzer.
+	const maxFuzzExpand = 4096
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := DecodeSpec(data)
+		if err != nil {
+			return
+		}
+		n, err := sp.NumJobs()
+		if err != nil {
+			// Valid spec but over the grid cap — fine, as long as
+			// Expand agrees.
+			if _, eerr := sp.Expand(); eerr == nil {
+				t.Fatalf("NumJobs rejected (%v) but Expand accepted", err)
+			}
+			return
+		}
+		if n < 1 {
+			t.Fatalf("NumJobs = %d for a valid spec", n)
+		}
+		if n > maxFuzzExpand {
+			return
+		}
+		jobs, err := sp.Expand()
+		if err != nil {
+			t.Fatalf("Expand failed after NumJobs accepted: %v", err)
+		}
+		if len(jobs) != n {
+			t.Fatalf("NumJobs = %d but Expand produced %d jobs", n, len(jobs))
+		}
+		for i, j := range jobs {
+			if j.Index != i {
+				t.Fatalf("job %d carries Index %d", i, j.Index)
+			}
+		}
+		again, err := sp.Expand()
+		if err != nil || !reflect.DeepEqual(jobs, again) {
+			t.Fatalf("Expand is not deterministic for %s", data)
+		}
+	})
+}

@@ -61,15 +61,27 @@ func TestWindowsBounded(t *testing.T) {
 	}
 }
 
+// ceq reports exact complex equality. The oracle values below are
+// products with 0, 0.5, and 1 — all exact in IEEE-754 — so exact
+// comparison is the intended check.
+//
+//safesense:floatcmp-helper
+func ceq(a, b complex128) bool { return a == b }
+
+// feq is ceq for float64 oracle values.
+//
+//safesense:floatcmp-helper
+func feq(a, b float64) bool { return a == b }
+
 func TestApply(t *testing.T) {
 	sig := []complex128{1 + 1i, 2, 3i}
 	w := []float64{1, 0.5, 0}
 	got := Apply(sig, w)
-	if got[0] != 1+1i || got[1] != 1 || got[2] != 0 {
+	if !ceq(got[0], 1+1i) || !ceq(got[1], 1) || got[2] != 0 {
 		t.Fatalf("Apply = %v", got)
 	}
 	// Input must not be mutated.
-	if sig[1] != 2 {
+	if !ceq(sig[1], 2) {
 		t.Fatal("Apply mutated input")
 	}
 }
@@ -98,7 +110,7 @@ func TestCoherentGain(t *testing.T) {
 
 func TestSingleElementWindows(t *testing.T) {
 	for _, f := range []Func{Hann, Hamming, Blackman} {
-		if w := f(1); w[0] != 1 {
+		if w := f(1); !feq(w[0], 1) {
 			t.Fatalf("single-point window = %v, want 1", w[0])
 		}
 	}

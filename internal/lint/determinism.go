@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism enforces the reproduction's core contract: for a given
+// scenario seed, the sim/estimator stack is bit-for-bit deterministic.
+// The paper's headline results (zero CRA false positives/negatives,
+// RLS takeover exactly at the attack step) are only checkable because
+// reruns are exact, so inside the scenario pipeline:
+//
+//   - no wall-clock reads (time.Now / time.Since): clocks must be
+//     injected through a package-level seam (`var clock = time.Now`),
+//     which is the one place a time.Now *reference* is permitted;
+//   - no global math/rand state (rand.Float64, rand.Intn, ...): all
+//     randomness flows from the scenario seed through constructed
+//     generators (rand.New, noise.NewSource);
+//   - no output built by ranging over a map: map iteration order is
+//     deliberately randomized by the runtime, so a loop that appends
+//     to a slice, prints, or writes while ranging a map produces a
+//     different artifact every run unless the keys are sorted first.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall clocks, global RNG, and map-ordered output in the deterministic pipeline",
+	Paths: []string{
+		"internal/sim",
+		"internal/estimate",
+		"internal/cra",
+		"internal/radar",
+		"internal/campaign",
+		"internal/report",
+	},
+	Run: runDeterminism,
+}
+
+// globalRandFuncs are the math/rand (and rand/v2) package-level
+// functions backed by shared global state. Constructors (New,
+// NewSource, NewPCG, NewChaCha8, NewZipf) are the approved seeded
+// idiom and stay legal.
+var globalRandFuncs = map[string]bool{
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Int": true, "Int31": true, "Int31n": true, "Int32": true, "Int32N": true,
+	"Int63": true, "Int63n": true, "Int64": true, "Int64N": true,
+	"IntN": true, "Intn": true, "N": true,
+	"Uint": true, "Uint32": true, "Uint32N": true, "Uint64": true, "Uint64N": true, "UintN": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+func runDeterminism(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					deterministicWalk(p, d.Body)
+				}
+			case *ast.GenDecl:
+				// Package-level var initializers are the injected-clock
+				// seam: `var clock = time.Now` is allowed. Calling the
+				// clock at package init time is still flagged, so only
+				// call expressions are inspected here.
+				ast.Inspect(d, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+							reportNondeterministic(p, sel)
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// deterministicWalk flags clock and global-RNG uses (references and
+// calls) plus map-ordered output inside a function body.
+func deterministicWalk(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			reportNondeterministic(p, n)
+		case *ast.RangeStmt:
+			checkMapRangeOutput(p, body, n)
+		}
+		return true
+	})
+}
+
+// reportNondeterministic resolves a selector and reports it when it
+// names a forbidden clock or global-RNG function.
+func reportNondeterministic(p *Pass, sel *ast.SelectorExpr) {
+	obj := p.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	switch obj.Pkg().Path() {
+	case "time":
+		if obj.Name() == "Now" || obj.Name() == "Since" || obj.Name() == "Until" {
+			p.Reportf(sel.Pos(),
+				"inject the clock through a package-level `var clock = time.Now` seam and stub it in tests",
+				"time.%s wall-clock read breaks run reproducibility", obj.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		// Only package-level functions touch the shared global state;
+		// methods on a constructed *rand.Rand are the approved idiom.
+		fn, isFunc := obj.(*types.Func)
+		if isFunc && fn.Type().(*types.Signature).Recv() == nil && globalRandFuncs[obj.Name()] {
+			p.Reportf(sel.Pos(),
+				"derive randomness from the scenario seed (noise.NewSource / rand.New(rand.NewSource(seed)))",
+				"global rand.%s breaks run reproducibility", obj.Name())
+		}
+	}
+}
+
+// checkMapRangeOutput flags `for k := range m` over a map when the
+// loop body feeds an order-sensitive sink (slice append, fmt output,
+// Write* methods, channel send) — unless every appended slice is
+// passed to a sort call elsewhere in the enclosing function (the
+// collect-then-sort idiom).
+func checkMapRangeOutput(p *Pass, enclosing *ast.BlockStmt, rng *ast.RangeStmt) {
+	tv, ok := p.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	var sinkKind string
+	appended := make(map[types.Object]bool)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sinkKind != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "append" && p.Info.Uses[fun] != nil && p.Info.Uses[fun].Parent() == types.Universe {
+					if target := appendTarget(p, n); target != nil {
+						appended[target] = true
+					} else {
+						sinkKind = "a slice append"
+					}
+				}
+			case *ast.SelectorExpr:
+				if obj := p.Info.Uses[fun.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+					sinkKind = "fmt output"
+				} else if name := fun.Sel.Name; name == "Write" || name == "WriteString" || name == "WriteByte" || name == "WriteRune" {
+					sinkKind = "writer output"
+				}
+			}
+		case *ast.SendStmt:
+			sinkKind = "a channel send"
+		}
+		return sinkKind == ""
+	})
+	if sinkKind != "" {
+		p.Reportf(rng.Pos(),
+			"collect the keys, sort them, and iterate the sorted slice",
+			"map iteration order reaches %s; output will differ between identical runs", sinkKind)
+		return
+	}
+	for obj := range appended {
+		if !sortedInBlock(p, enclosing, obj) {
+			p.Reportf(rng.Pos(),
+				"sort the slice after the loop (sort.Slice / slices.Sort / sort.Ints), or iterate sorted keys",
+				"map iteration order feeds slice %q without a subsequent sort", obj.Name())
+			return
+		}
+	}
+}
+
+// appendTarget resolves append(x, ...)'s slice variable, nil when the
+// first argument is not a plain identifier.
+func appendTarget(p *Pass, call *ast.CallExpr) types.Object {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	if id, ok := call.Args[0].(*ast.Ident); ok {
+		return p.Info.Uses[id]
+	}
+	return nil
+}
+
+// sortedInBlock reports whether obj is passed to a sort.* / slices.*
+// call anywhere in the function body (no flow analysis; accepting a
+// sort before the loop is a deliberate simplification).
+func sortedInBlock(p *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		callee := p.Info.Uses[sel.Sel]
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if pkg := callee.Pkg().Path(); pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Report is the driver's result: how much was analyzed and what was
+// found. Its JSON form is the machine interface CI consumes
+// (safesense-lint -json).
+type Report struct {
+	// Packages counts the analysis units loaded (external test
+	// packages count separately).
+	Packages int `json:"packages"`
+	// Diagnostics is sorted by file, line, column, analyzer. Empty
+	// means the tree is clean (encoded as [] — never null — so
+	// consumers can index unconditionally).
+	Diagnostics []Diagnostic `json:"diagnostics"`
+}
+
+// Clean reports whether no analyzer found anything.
+func (r *Report) Clean() bool { return len(r.Diagnostics) == 0 }
+
+// Run loads the module rooted at root, restricted to the given
+// package patterns (none means the whole module), and applies the
+// analyzers. Load or type-check failures abort with an error — a tree
+// that does not compile has no lint verdict.
+func Run(root string, patterns []string, analyzers []*Analyzer, includeTests bool) (*Report, error) {
+	loader, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	loader.IncludeTests = includeTests
+	pkgs, err := loader.Packages(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	diags := RunAnalyzers(pkgs, analyzers)
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	return &Report{Packages: len(pkgs), Diagnostics: diags}, nil
+}
+
+// WriteText renders diagnostics one per line in the conventional
+// file:line:col form, with a trailing summary.
+func (r *Report) WriteText(w io.Writer) {
+	for _, d := range r.Diagnostics {
+		fmt.Fprintln(w, d.String())
+	}
+	if len(r.Diagnostics) > 0 {
+		fmt.Fprintf(w, "safesense-lint: %d diagnostic(s) in %d package(s)\n", len(r.Diagnostics), r.Packages)
+	}
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

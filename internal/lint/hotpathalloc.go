@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathAlloc guards the functions the whole performance story rests
+// on: the ~15 ns lock-free metrics path in internal/obs and the
+// per-step flight recorder in internal/sim. A function whose doc
+// comment carries
+//
+//	//safesense:hotpath
+//
+// promises "no hidden allocation per call", and this analyzer keeps
+// the promise honest by flagging the three ways Go code quietly starts
+// allocating:
+//
+//   - fmt calls (Sprintf and friends always allocate, and their
+//     variadic ...any boxes every argument);
+//   - closures that capture enclosing variables (the capture forces a
+//     heap allocation for the closed-over variable);
+//   - interface boxing: passing a concrete value to an interface
+//     parameter (including variadic ...any), which allocates unless
+//     the escape analyzer gets lucky.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "forbid fmt calls, capturing closures, and interface boxing in //safesense:hotpath functions",
+	Run:  runHotPathAlloc,
+}
+
+// HotPathMarker annotates a function as an allocation-free hot path.
+const HotPathMarker = "//safesense:hotpath"
+
+func runHotPathAlloc(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !FuncDocHas(fn, HotPathMarker) {
+				continue
+			}
+			checkHotPathBody(p, fn)
+		}
+	}
+}
+
+func checkHotPathBody(p *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotPathCall(p, n)
+		case *ast.FuncLit:
+			reportClosureCaptures(p, fn, n)
+		}
+		return true
+	})
+}
+
+func checkHotPathCall(p *Pass, call *ast.CallExpr) {
+	// fmt anywhere in a hot path is an allocation (and usually a
+	// boxing cascade through ...any).
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if obj := p.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			p.Reportf(call.Pos(),
+				"format outside the hot path, or append to a preallocated []byte with strconv",
+				"fmt.%s call allocates on a //safesense:hotpath function", obj.Name())
+			return
+		}
+	}
+	// Interface boxing: concrete argument, interface parameter.
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || tv.IsType() { // conversions are not calls
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return // builtin (append, len, ...) — no boxing
+	}
+	if call.Ellipsis != token.NoPos && call.Ellipsis.IsValid() {
+		return // slice already built; the boxing happened elsewhere
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at, ok := p.Info.Types[arg]
+		if !ok || at.IsNil() || types.IsInterface(at.Type.Underlying()) {
+			continue
+		}
+		p.Reportf(arg.Pos(),
+			"keep hot-path signatures concrete; convert to interfaces outside the per-step loop",
+			"passing concrete %s to interface parameter boxes (allocates) on a //safesense:hotpath function", at.Type.String())
+	}
+}
+
+// reportClosureCaptures flags a function literal that captures
+// variables declared in the enclosing hot-path function: the capture
+// heap-allocates the variable and the closure itself.
+func reportClosureCaptures(p *Pass, fn *ast.FuncDecl, lit *ast.FuncLit) {
+	reported := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		// Captured iff declared inside the enclosing function but
+		// outside the literal.
+		if obj.Pos() >= fn.Pos() && obj.Pos() < fn.End() && (obj.Pos() < lit.Pos() || obj.Pos() >= lit.End()) {
+			p.Reportf(lit.Pos(),
+				"hoist the closure out of the hot path or pass state explicitly",
+				"closure captures %q; the capture heap-allocates on a //safesense:hotpath function", obj.Name())
+			reported = true
+			return false
+		}
+		return true
+	})
+}

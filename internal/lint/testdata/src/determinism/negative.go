@@ -1,0 +1,51 @@
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// clock is the approved injected seam: a package-level *reference* to
+// time.Now that tests can swap for a fake.
+var clock = time.Now
+
+func viaSeam() time.Time {
+	return clock()
+}
+
+func seededRNG(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func mapCollectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapPureReduction(m map[string]int) int {
+	// Order-insensitive accumulation over a map is fine.
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func sliceRange(xs []string) []string {
+	// Ranging a slice is deterministic; only maps are flagged.
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+func allowedClock() time.Time {
+	return time.Now() //safesense:allow determinism fixture exercises line suppression
+}

@@ -1,0 +1,59 @@
+// Package determinism is the golden fixture for the determinism
+// analyzer. Marked lines must produce a diagnostic whose message
+// contains the quoted substring; unmarked lines must stay silent.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// Calling the clock at package init time is still a wall-clock read.
+var startup = time.Now() // want "wall-clock read"
+
+func wallClock() time.Duration {
+	start := time.Now()      // want "wall-clock read"
+	return time.Since(start) // want "wall-clock read"
+}
+
+func clockReference() func() time.Time {
+	// Referencing (not calling) time.Now inside a body is still a leak:
+	// the seam must be a package-level var.
+	return time.Now // want "wall-clock read"
+}
+
+func globalRNG() float64 {
+	return rand.Float64() // want "global rand.Float64"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global rand.Shuffle"
+}
+
+func mapAppendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration order feeds slice"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func mapPrinted(m map[string]int) {
+	for k, v := range m { // want "map iteration order reaches fmt output"
+		fmt.Println(k, v)
+	}
+}
+
+func mapWritten(m map[string]int, b *strings.Builder) {
+	for k := range m { // want "map iteration order reaches writer output"
+		b.WriteString(k)
+	}
+}
+
+func mapSent(m map[string]int, out chan<- string) {
+	for k := range m { // want "map iteration order reaches a channel send"
+		out <- k
+	}
+}

@@ -1,0 +1,38 @@
+package floatcmp
+
+import "math"
+
+func zeroGuard(det float64) bool {
+	// Exact comparison against constant zero is a well-defined IEEE
+	// singularity guard.
+	return det == 0
+}
+
+func nanIdiom(x float64) bool {
+	// Self-comparison is the portable NaN test.
+	return x != x
+}
+
+func intCmp(a, b int) bool {
+	// Integer equality is exact; only float/complex operands count.
+	return a == b
+}
+
+// approxEq is where the epsilon logic itself lives; the marker exempts
+// its body.
+//
+//safesense:floatcmp-helper
+func approxEq(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func viaHelper(a, b float64) bool {
+	return approxEq(a, b, 1e-12)
+}
+
+func allowedCmp(a, b float64) bool {
+	return a == b //safesense:allow floatcmp fixture exercises line suppression
+}

@@ -1,0 +1,25 @@
+// Package floatcmp is the golden fixture for the floatcmp analyzer.
+package floatcmp
+
+func rawEq(a, b float64) bool {
+	return a == b // want "raw floating-point =="
+}
+
+func rawNeq(a, b float32) bool {
+	return a != b // want "raw floating-point !="
+}
+
+func complexEq(a, b complex128) bool {
+	return a == b // want "raw floating-point =="
+}
+
+type meters float64
+
+func namedFloat(a, b meters) bool {
+	// Named types over floats are still floats underneath.
+	return a == b // want "raw floating-point =="
+}
+
+func mixedNonZeroConst(x float64) bool {
+	return x == 1.5 // want "raw floating-point =="
+}

@@ -1,0 +1,42 @@
+package hotpathalloc
+
+import "fmt"
+
+// unannotated is not a hot path: everything is permitted here.
+func unannotated(s *sink, v float64) string {
+	s.put(v)
+	f := func() float64 { return v }
+	return fmt.Sprintf("%v", f())
+}
+
+type counter struct{ n uint64 }
+
+// inc is a clean hot path: concrete arguments, no fmt, no closures.
+//
+//safesense:hotpath
+func inc(c *counter, delta uint64) {
+	c.n += delta
+}
+
+// nilArg passes an untyped nil to an interface parameter — no boxing.
+//
+//safesense:hotpath
+func nilArg(s *sink) {
+	s.put(nil)
+}
+
+// interfaceThrough forwards an existing interface value — the boxing
+// (if any) happened at the caller, not here.
+//
+//safesense:hotpath
+func interfaceThrough(s *sink, v any) {
+	s.put(v)
+}
+
+// freeClosure uses a literal that only touches its own locals and
+// parameters — nothing is captured from the hot path.
+//
+//safesense:hotpath
+func freeClosure() func(int) int {
+	return func(x int) int { return x + 1 }
+}

@@ -1,0 +1,31 @@
+// Package hotpathalloc is the golden fixture for the hotpathalloc
+// analyzer: annotated functions must stay free of fmt, capturing
+// closures, and interface boxing.
+package hotpathalloc
+
+import "fmt"
+
+type sink struct{ last any }
+
+func (s *sink) put(v any) { s.last = v }
+
+// fmtCall formats inside an annotated hot path.
+//
+//safesense:hotpath
+func fmtCall(v float64) string {
+	return fmt.Sprintf("%v", v) // want "fmt.Sprintf call allocates"
+}
+
+// boxing passes a concrete float64 to an any parameter.
+//
+//safesense:hotpath
+func boxing(s *sink, v float64) {
+	s.put(v) // want "passing concrete float64 to interface parameter boxes"
+}
+
+// capture closes over a local variable of the hot-path function.
+//
+//safesense:hotpath
+func capture(n int) func() int {
+	return func() int { return n } // want "closure captures"
+}

@@ -1,0 +1,31 @@
+package metriclabels
+
+import "safesense/internal/obs"
+
+// metricRequests names the label keys as constants — the schema is
+// visible at the registration site.
+const (
+	labelMethod = "method"
+	labelRoute  = "route"
+)
+
+func registerClean(reg *obs.Registry) *obs.CounterVec {
+	return reg.Counter("fixture_requests_total",
+		"Requests served, by method and route.",
+		labelMethod, labelRoute)
+}
+
+// statusClass maps an int onto a fixed vocabulary; passing the result
+// through a plain variable is the documented bounded-value contract.
+func statusClass(status int) string {
+	if status >= 500 {
+		return "5xx"
+	}
+	return "ok"
+}
+
+func useClean(v *obs.CounterVec, status int) {
+	v.With("GET", "index").Inc()
+	class := statusClass(status)
+	v.With("GET", class).Inc()
+}

@@ -1,0 +1,28 @@
+// Package metriclabels is the golden fixture for the metriclabels
+// analyzer: constant, well-formed, bounded label keys at registration
+// and bounded label values at With call sites.
+package metriclabels
+
+import (
+	"fmt"
+	"strconv"
+
+	"safesense/internal/obs"
+)
+
+func register(reg *obs.Registry, name, key string, keys []string) {
+	reg.Counter(name, "help.")                                      // want "metric name must be a compile-time constant"
+	reg.Counter("Bad-Name", "help.")                                // want "not a well-formed identifier"
+	reg.Counter("too_many_total", "help.", "a", "b", "c", "d", "e") // want "exceeds the limit"
+	reg.Counter("var_key_total", "help.", key)                      // want "label key must be a compile-time constant"
+	reg.Counter("per_entity_total", "help.", "request_id")          // want "implies unbounded cardinality"
+	reg.Counter("spread_total", "help.", keys...)                   // want "cannot be statically checked"
+}
+
+func use(v *obs.CounterVec, status int, err error, name string) {
+	v.With(strconv.Itoa(status)).Inc()        // want "strconv.Itoa"
+	v.With(fmt.Sprintf("%03d", status)).Inc() // want "fmt.Sprintf"
+	v.With(err.Error()).Inc()                 // want "rendering"
+	v.With("job_" + name).Inc()               // want "string concatenation"
+	v.With(string(rune(status))).Inc()        // want "string conversion"
+}

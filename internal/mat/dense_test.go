@@ -7,6 +7,14 @@ import (
 	"testing/quick"
 )
 
+// feq reports exact float64 equality, for oracle values that are
+// stored and read back verbatim (At/Row/Col copies) or produced by
+// small-integer arithmetic — both exact in IEEE-754. Computed
+// quantities (norms, dot products) use epsilon comparisons instead.
+//
+//safesense:floatcmp-helper
+func feq(a, b float64) bool { return a == b }
+
 func randDense(rng *rand.Rand, r, c int) *Dense {
 	m := NewDense(r, c)
 	for i := 0; i < r; i++ {
@@ -33,7 +41,7 @@ func TestNewDensePanicsOnBadDims(t *testing.T) {
 func TestAtSet(t *testing.T) {
 	m := NewDense(2, 3)
 	m.Set(1, 2, 7.5)
-	if got := m.At(1, 2); got != 7.5 {
+	if got := m.At(1, 2); !feq(got, 7.5) {
 		t.Fatalf("At(1,2) = %v, want 7.5", got)
 	}
 	if got := m.At(0, 0); got != 0 {
@@ -127,27 +135,27 @@ func TestMulVecMatchesMul(t *testing.T) {
 
 func TestRowColSetRow(t *testing.T) {
 	a := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
-	if r := a.Row(1); r[0] != 4 || r[1] != 5 || r[2] != 6 {
+	if r := a.Row(1); !feq(r[0], 4) || !feq(r[1], 5) || !feq(r[2], 6) {
 		t.Fatalf("Row(1) = %v", r)
 	}
-	if c := a.Col(2); c[0] != 3 || c[1] != 6 {
+	if c := a.Col(2); !feq(c[0], 3) || !feq(c[1], 6) {
 		t.Fatalf("Col(2) = %v", c)
 	}
 	a.SetRow(0, []float64{9, 8, 7})
-	if a.At(0, 0) != 9 || a.At(0, 2) != 7 {
+	if !feq(a.At(0, 0), 9) || !feq(a.At(0, 2), 7) {
 		t.Fatal("SetRow failed")
 	}
 	// Row returns a copy: mutating it must not affect the matrix.
 	r := a.Row(0)
 	r[0] = -1
-	if a.At(0, 0) != 9 {
+	if !feq(a.At(0, 0), 9) {
 		t.Fatal("Row did not return a copy")
 	}
 }
 
 func TestTraceDiagOuter(t *testing.T) {
 	d := Diag([]float64{1, 2, 3})
-	if d.Trace() != 6 {
+	if math.Abs(d.Trace()-6) > 1e-12 {
 		t.Fatalf("Trace = %v", d.Trace())
 	}
 	o := Outer([]float64{1, 2}, []float64{3, 4, 5})
@@ -176,7 +184,7 @@ func TestFrobeniusAndMaxAbs(t *testing.T) {
 	if got := a.FrobeniusNorm(); math.Abs(got-5) > 1e-12 {
 		t.Fatalf("FrobeniusNorm = %v", got)
 	}
-	if got := a.MaxAbs(); got != 4 {
+	if got := a.MaxAbs(); !feq(got, 4) {
 		t.Fatalf("MaxAbs = %v", got)
 	}
 }

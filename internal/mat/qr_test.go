@@ -73,27 +73,27 @@ func TestQRRejectsWide(t *testing.T) {
 func TestVecOps(t *testing.T) {
 	x := []float64{1, 2, 3}
 	y := []float64{4, 5, 6}
-	if got := Dot(x, y); got != 32 {
+	if got := Dot(x, y); math.Abs(got-32) > 1e-12 {
 		t.Fatalf("Dot = %v", got)
 	}
 	if got := Norm2([]float64{3, 4}); math.Abs(got-5) > 1e-12 {
 		t.Fatalf("Norm2 = %v", got)
 	}
-	if got := NormInf([]float64{-7, 2}); got != 7 {
+	if got := NormInf([]float64{-7, 2}); !feq(got, 7) {
 		t.Fatalf("NormInf = %v", got)
 	}
-	if got := AddVec(x, y); got[0] != 5 || got[2] != 9 {
+	if got := AddVec(x, y); !feq(got[0], 5) || !feq(got[2], 9) {
 		t.Fatalf("AddVec = %v", got)
 	}
-	if got := SubVec(y, x); got[0] != 3 || got[2] != 3 {
+	if got := SubVec(y, x); !feq(got[0], 3) || !feq(got[2], 3) {
 		t.Fatalf("SubVec = %v", got)
 	}
-	if got := ScaleVec(2, x); got[1] != 4 {
+	if got := ScaleVec(2, x); !feq(got[1], 4) {
 		t.Fatalf("ScaleVec = %v", got)
 	}
 	z := []float64{1, 1, 1}
 	Axpy(2, x, z)
-	if z[0] != 3 || z[2] != 7 {
+	if !feq(z[0], 3) || !feq(z[2], 7) {
 		t.Fatalf("Axpy = %v", z)
 	}
 }

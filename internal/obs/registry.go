@@ -136,9 +136,13 @@ func (f *family) child(values ...string) any {
 type Counter struct{ bits atomic.Uint64 }
 
 // Inc adds one.
+//
+//safesense:hotpath
 func (c *Counter) Inc() { c.Add(1) }
 
 // Add adds delta (negative deltas are ignored; counters only go up).
+//
+//safesense:hotpath
 func (c *Counter) Add(delta float64) {
 	if delta < 0 {
 		return
@@ -153,14 +157,22 @@ func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
 type Gauge struct{ bits atomic.Uint64 }
 
 // Set replaces the value.
+//
+//safesense:hotpath
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add adds delta (may be negative).
+//
+//safesense:hotpath
 func (g *Gauge) Add(delta float64) { addFloat(&g.bits, delta) }
 
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
+// addFloat is the lock-free float accumulator under every Counter and
+// Gauge write.
+//
+//safesense:hotpath
 func addFloat(bits *atomic.Uint64, delta float64) {
 	for {
 		old := bits.Load()
@@ -196,6 +208,8 @@ func newHistogram(upper []float64) *Histogram {
 }
 
 // Observe records one value (NaN is dropped).
+//
+//safesense:hotpath
 func (h *Histogram) Observe(v float64) {
 	if math.IsNaN(v) {
 		return
@@ -208,6 +222,8 @@ func (h *Histogram) Observe(v float64) {
 // ObserveExemplar records v and, when traceID is non-empty, replaces the
 // matching bucket's exemplar with (v, traceID). The write is a single
 // atomic pointer swap, keeping the hot path lock-free.
+//
+//safesense:hotpath
 func (h *Histogram) ObserveExemplar(v float64, traceID string) {
 	if math.IsNaN(v) {
 		return
@@ -221,6 +237,8 @@ func (h *Histogram) ObserveExemplar(v float64, traceID string) {
 }
 
 // ObserveDuration records d in seconds.
+//
+//safesense:hotpath
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
 // Sum returns the total of all observed values.

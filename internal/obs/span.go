@@ -27,6 +27,8 @@ func (t *Timer) Calls() int { return t.calls }
 func (t *Timer) Reset() { t.total, t.calls = 0, 0 }
 
 // Start opens a span; End it to accumulate.
+//
+//safesense:hotpath
 func (t *Timer) Start() Span { return Span{t: t, start: time.Now()} }
 
 // Span measures one region of code. The zero Span is inert: End returns 0
@@ -43,6 +45,8 @@ func StartSpan(h *Histogram) Span { return Span{h: h, start: time.Now()} }
 
 // End closes the span, accumulates into its Timer and/or Histogram, and
 // returns the elapsed duration.
+//
+//safesense:hotpath
 func (s Span) End() time.Duration {
 	if s.start.IsZero() {
 		return 0

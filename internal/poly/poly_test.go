@@ -9,6 +9,11 @@ import (
 	"testing/quick"
 )
 
+// sortByArg orders roots lexicographically by (re, im) so two root
+// sets can be compared element-wise. The != here is a sort tie-break,
+// not an approximate-equality check.
+//
+//safesense:floatcmp-helper
 func sortByArg(rs []complex128) {
 	sort.Slice(rs, func(i, j int) bool {
 		if real(rs[i]) != real(rs[j]) {
@@ -17,6 +22,12 @@ func sortByArg(rs []complex128) {
 		return imag(rs[i]) < imag(rs[j])
 	})
 }
+
+// ceq reports exact complex equality, for coefficient oracles built
+// from small integers — exact in IEEE-754 — and read back verbatim.
+//
+//safesense:floatcmp-helper
+func ceq(a, b complex128) bool { return a == b }
 
 func matchRoots(t *testing.T, got, want []complex128, tol float64) {
 	t.Helper()
@@ -44,10 +55,10 @@ func matchRoots(t *testing.T, got, want []complex128, tol float64) {
 func TestEvalHorner(t *testing.T) {
 	// p(z) = 1 + 2z + 3z^2 at z = 2 -> 1 + 4 + 12 = 17.
 	p := New(1, 2, 3)
-	if got := p.Eval(2); got != 17 {
+	if got := p.Eval(2); cmplx.Abs(got-17) > 1e-12 {
 		t.Fatalf("Eval = %v", got)
 	}
-	if got := p.Eval(0); got != 1 {
+	if got := p.Eval(0); cmplx.Abs(got-1) > 1e-12 {
 		t.Fatalf("Eval(0) = %v", got)
 	}
 }
@@ -55,7 +66,7 @@ func TestEvalHorner(t *testing.T) {
 func TestDerivative(t *testing.T) {
 	p := New(5, 3, 0, 2) // 5 + 3z + 2z^3
 	d := p.Derivative()  // 3 + 6z^2
-	if d.C[0] != 3 || d.C[1] != 0 || d.C[2] != 6 {
+	if !ceq(d.C[0], 3) || d.C[1] != 0 || !ceq(d.C[2], 6) {
 		t.Fatalf("Derivative = %v", d.C)
 	}
 	c := New(7)
@@ -165,7 +176,7 @@ func TestMonic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.C[2] != 1 || m.C[0] != 1 || m.C[1] != 2 {
+	if !ceq(m.C[2], 1) || !ceq(m.C[0], 1) || !ceq(m.C[1], 2) {
 		t.Fatalf("Monic = %v", m.C)
 	}
 }

@@ -127,12 +127,16 @@ func newFlightRecorder() *flightRecorder {
 }
 
 // emit appends one event stamped with the current step.
+//
+//safesense:hotpath
 func (fr *flightRecorder) emit(kind string, value float64, detail string) {
 	fr.events = append(fr.events, FlightEvent{K: fr.k, Kind: kind, Value: value, Detail: detail})
 }
 
 // record stores this step's state into the ring (overwriting the oldest
 // slot once full).
+//
+//safesense:hotpath
 func (fr *flightRecorder) record(st StepState) {
 	fr.ring[fr.ringN%stateRingCap] = st
 	fr.ringN++
@@ -140,6 +144,8 @@ func (fr *flightRecorder) record(st StepState) {
 
 // flagAnomaly queues an anomaly for dumping at the end of the current
 // step (after its state is in the ring).
+//
+//safesense:hotpath
 func (fr *flightRecorder) flagAnomaly(kind, detail string) {
 	if fr.npending < len(fr.pending) {
 		fr.pending[fr.npending] = AnomalyDump{K: fr.k, Kind: kind, Detail: detail}
@@ -148,6 +154,8 @@ func (fr *flightRecorder) flagAnomaly(kind, detail string) {
 }
 
 // endStep records the step's state and flushes any flagged anomalies.
+//
+//safesense:hotpath
 func (fr *flightRecorder) endStep(st StepState) {
 	fr.record(st)
 	for i := 0; i < fr.npending; i++ {

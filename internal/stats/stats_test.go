@@ -6,6 +6,14 @@ import (
 	"testing/quick"
 )
 
+// feq reports exact float64 equality, for oracle values that are
+// selected or copied verbatim (Min/Max, single-element percentile,
+// untouched inputs) and therefore bit-identical. Computed quantities
+// (means, errors) use epsilon comparisons instead.
+//
+//safesense:floatcmp-helper
+func feq(a, b float64) bool { return a == b }
+
 func TestRMSE(t *testing.T) {
 	got, err := RMSE([]float64{1, 2, 3}, []float64{1, 2, 3})
 	if err != nil || got != 0 {
@@ -31,7 +39,7 @@ func TestMAEAndMaxAbs(t *testing.T) {
 		t.Fatalf("MAE = %v", mae)
 	}
 	mx, err := MaxAbsErr(a, b)
-	if err != nil || mx != 2 {
+	if err != nil || math.Abs(mx-2) > 1e-12 {
 		t.Fatalf("MaxAbsErr = %v", mx)
 	}
 	if _, err := MAE(nil, nil); err == nil {
@@ -70,7 +78,7 @@ func TestMetricOrderingProperty(t *testing.T) {
 
 func TestMeanStdDev(t *testing.T) {
 	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
-	if m := Mean(x); m != 5 {
+	if m := Mean(x); math.Abs(m-5) > 1e-12 {
 		t.Fatalf("Mean = %v", m)
 	}
 	if s := StdDev(x); math.Abs(s-2) > 1e-12 {
@@ -83,7 +91,7 @@ func TestMeanStdDev(t *testing.T) {
 
 func TestMinMax(t *testing.T) {
 	x := []float64{3, -1, 7}
-	if Min(x) != -1 || Max(x) != 7 {
+	if !feq(Min(x), -1) || !feq(Max(x), 7) {
 		t.Fatalf("Min/Max = %v/%v", Min(x), Max(x))
 	}
 	if Min(nil) != 0 || Max(nil) != 0 {
@@ -113,7 +121,7 @@ func TestPercentile(t *testing.T) {
 			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
 		}
 	}
-	if x[0] != 5 {
+	if !feq(x[0], 5) {
 		t.Fatal("Percentile must not modify its input")
 	}
 	if !math.IsNaN(Percentile(nil, 50)) {
@@ -122,7 +130,7 @@ func TestPercentile(t *testing.T) {
 	if !math.IsNaN(Percentile(x, 101)) || !math.IsNaN(Percentile(x, -1)) {
 		t.Fatal("out-of-range p should yield NaN")
 	}
-	if got := Percentile([]float64{7}, 99); got != 7 {
+	if got := Percentile([]float64{7}, 99); !feq(got, 7) {
 		t.Fatalf("single-element percentile = %v", got)
 	}
 }
@@ -165,7 +173,7 @@ func TestHistogram(t *testing.T) {
 		t.Fatalf("N = %d, want 8 (NaN ignored)", h.N)
 	}
 	edges := h.BinEdges()
-	if len(edges) != 6 || edges[0] != 0 || edges[5] != 10 || edges[1] != 2 {
+	if len(edges) != 6 || edges[0] != 0 || !feq(edges[5], 10) || !feq(edges[1], 2) {
 		t.Fatalf("BinEdges = %v", edges)
 	}
 	if _, err := NewHistogram(0, 10, 0); err == nil {

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzReadCSV feeds arbitrary bytes through the CSV trace parser. The
+// parser must never panic, and any set it accepts must survive a
+// WriteCSV → ReadCSV round trip unchanged — provided the set is in the
+// canonical form WriteCSV itself produces (strictly increasing time
+// stamps per series, no NaN samples). Non-canonical but parseable
+// input (duplicate or out-of-order rows) is legal to read; it just has
+// no round-trip guarantee, because Series.At binary-searches T.
+func FuzzReadCSV(f *testing.F) {
+	f.Add([]byte("t,a,b\n0,1,2\n1,,3.5\n"))
+	f.Add([]byte("t,\"name,with\"\"quote\"\n-5,1e-3\n7,\n"))
+	f.Add([]byte("t,gap_m,vel_mps\n0,112.5,31.3\n1,112.1,31.2\n2,111.8,31.1\n"))
+	f.Add([]byte("t\n"))
+	f.Add([]byte("x,a\n0,1\n"))
+	f.Add([]byte("t,a\n0,nope\n"))
+	f.Add([]byte("t,a,a\n0,1,2\n"))
+	f.Add([]byte("t,a\n0,1\n0,2\n"))
+	f.Add([]byte("t,a\n5,1\n3,2\n"))
+	f.Add([]byte("t,a\n0,NaN\n1,+Inf\n"))
+	f.Add([]byte("t,a\n0,1,9\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if !canonicalSet(st) {
+			return
+		}
+		var buf bytes.Buffer
+		if err := st.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV of a parsed set failed: %v", err)
+		}
+		back, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading written CSV failed: %v\ncsv:\n%s", err, buf.String())
+		}
+		equalSets(t, st, back, buf.String())
+	})
+}
+
+// canonicalSet reports whether every series has strictly increasing
+// time stamps and no NaN values — the form WriteCSV emits and the only
+// form it can reproduce (NaNs become empty cells; At assumes sorted T).
+func canonicalSet(st *Set) bool {
+	for _, name := range st.Names() {
+		s := st.Series(name)
+		for i := range s.T {
+			if i > 0 && s.T[i] <= s.T[i-1] {
+				return false
+			}
+			if math.IsNaN(s.Y[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func equalSets(t *testing.T, want, got *Set, csv string) {
+	t.Helper()
+	wn, gn := want.Names(), got.Names()
+	if len(wn) != len(gn) {
+		t.Fatalf("round trip changed series count: %v -> %v\ncsv:\n%s", wn, gn, csv)
+	}
+	for i := range wn {
+		if wn[i] != gn[i] {
+			t.Fatalf("round trip changed series names: %v -> %v\ncsv:\n%s", wn, gn, csv)
+		}
+		ws, gs := want.Series(wn[i]), got.Series(gn[i])
+		if len(ws.T) != len(gs.T) {
+			t.Fatalf("series %q: %d samples -> %d\ncsv:\n%s", wn[i], len(ws.T), len(gs.T), csv)
+		}
+		for j := range ws.T {
+			if ws.T[j] != gs.T[j] || ws.Y[j] != gs.Y[j] {
+				t.Fatalf("series %q sample %d: (%d, %v) -> (%d, %v)\ncsv:\n%s",
+					wn[i], j, ws.T[j], ws.Y[j], gs.T[j], gs.Y[j], csv)
+			}
+		}
+	}
+}

@@ -144,7 +144,9 @@ func (st *Set) WriteCSV(w io.Writer) error {
 }
 
 func csvEscape(s string) string {
-	if strings.ContainsAny(s, ",\"\n") {
+	// A bare \r must be quoted too: unquoted it merges with the line
+	// terminator and the name comes back different on re-read.
+	if strings.ContainsAny(s, ",\"\n\r") {
 		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 	}
 	return s
