@@ -5,7 +5,7 @@ GO ?= go
 # without letting coverage rot.
 COVER_MIN ?= 78
 
-.PHONY: all build test race race-hot vet fmt-check lint fuzz-smoke bench bench-smoke cover check
+.PHONY: all build test race race-hot vet fmt-check lint fuzz-smoke bench bench-smoke bench-check bench-capture perf-baseline cover check
 
 all: check
 
@@ -50,9 +50,33 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # bench-smoke compiles and runs every benchmark exactly once so they
-# can't bit-rot; CI runs this on every push.
+# can't bit-rot; CI runs this on every push. The figure/kernel/campaign
+# benchmarks resolve against the fixed-seed scenario registry in
+# internal/perf/suite, so the smoke run is deterministic at the domain
+# level (timings vary, results never do).
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# bench-check is the statistical regression gate: it measures the
+# registered perf suite fresh and compares it against the committed
+# baseline (perf/baseline.json) with a Mann-Whitney significance test,
+# failing on any unwaived scenario whose median worsened significantly
+# beyond PERF_THRESHOLD percent. Exempt a scenario with a
+# `safesense:perf-waiver <scenario> <reason>` line in perf/waivers.txt.
+# The threshold is deliberately wide: shared CI boxes produce 10-20%
+# swings on their own; a real regression (2x, 3x) clears it easily.
+PERF_THRESHOLD ?= 30
+bench-check:
+	$(GO) run ./cmd/safesense-perf check -threshold $(PERF_THRESHOLD) -save perf/BENCH_ci.json
+
+# bench-capture appends the next BENCH_<n>.json trajectory document.
+bench-capture:
+	$(GO) run ./cmd/safesense-perf run -dir perf
+
+# perf-baseline re-captures the committed baseline (run on a quiet
+# machine after an intentional perf change, then commit the file).
+perf-baseline:
+	$(GO) run ./cmd/safesense-perf run -out perf/baseline.json
 
 # cover runs the suite with atomic coverage and fails when total
 # statement coverage drops below COVER_MIN percent.

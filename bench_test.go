@@ -5,46 +5,64 @@ package safesense
 // Regenerate everything with:
 //
 //	go test -bench=. -benchmem
+//
+// The figure, kernel, and campaign benchmarks drive the shared scenario
+// registry in internal/perf/suite — the same workloads `safesense-perf
+// run` captures into BENCH_*.json — so testing.B numbers and the perf
+// trajectory always measure identical code paths with identical seeds.
 
 import (
-	"context"
 	"fmt"
 	"testing"
 
 	"safesense/internal/attack"
-	"safesense/internal/campaign"
-	"safesense/internal/cra"
-	"safesense/internal/dsp/fft"
-	"safesense/internal/dsp/music"
 	"safesense/internal/estimate"
 	"safesense/internal/lateral"
 	"safesense/internal/noise"
-	"safesense/internal/prbs"
+	"safesense/internal/perf"
+	"safesense/internal/perf/suite"
 	"safesense/internal/radar"
 	"safesense/internal/report"
 	"safesense/internal/sim"
 )
 
-// --- Figures 2a/2b/3a/3b: one full closed-loop defended run each -------
+// perfSuite is the shared scenario registry the registry-backed
+// benchmarks below resolve against.
+var perfSuite = suite.Default()
 
-func benchScenario(b *testing.B, s sim.Scenario) {
+// benchSuiteScenario runs one registered perf scenario under testing.B:
+// fresh Setup outside the timer, the scenario body inside it, per-op
+// scaling via the scenario's own Ops count.
+func benchSuiteScenario(b *testing.B, name string) {
 	b.Helper()
+	s, ok := perfSuite.Lookup(name)
+	if !ok {
+		b.Fatalf("no registered perf scenario %q", name)
+	}
+	body, err := s.Setup()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep := perf.NewRep()
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := sim.Run(s)
-		if err != nil {
+		if err := body(rep); err != nil {
 			b.Fatal(err)
 		}
-		if res.DetectedAt != 182 {
-			b.Fatalf("DetectedAt = %d", res.DetectedAt)
-		}
+	}
+	b.StopTimer()
+	if s.Ops > 1 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*s.Ops), "ns/logical-op")
 	}
 }
 
-func BenchmarkFig2aDoSConstantDecel(b *testing.B)   { benchScenario(b, sim.Fig2aDoS()) }
-func BenchmarkFig2bDelayConstantDecel(b *testing.B) { benchScenario(b, sim.Fig2bDelay()) }
-func BenchmarkFig3aDoSDecelAccel(b *testing.B)      { benchScenario(b, sim.Fig3aDoS()) }
-func BenchmarkFig3bDelayDecelAccel(b *testing.B)    { benchScenario(b, sim.Fig3bDelay()) }
+// --- Figures 2a/2b/3a/3b: one full closed-loop defended run each -------
+
+func BenchmarkFig2aDoSConstantDecel(b *testing.B)   { benchSuiteScenario(b, "fig2a_dos") }
+func BenchmarkFig2bDelayConstantDecel(b *testing.B) { benchSuiteScenario(b, "fig2b_delay") }
+func BenchmarkFig3aDoSDecelAccel(b *testing.B)      { benchSuiteScenario(b, "fig3a_dos") }
+func BenchmarkFig3bDelayDecelAccel(b *testing.B)    { benchSuiteScenario(b, "fig3b_delay") }
 
 // --- T1: the Section 6.2 results — RLS cost over the attack window -----
 //
@@ -207,115 +225,25 @@ func BenchmarkLaneKeepingRun(b *testing.B) {
 // min(workers, n) until the jobs run out.
 
 func BenchmarkCampaignThroughput(b *testing.B) {
-	spec := campaign.Spec{
-		Name:       "bench-fig2-grid",
-		Steps:      301,
-		BaseSeed:   42,
-		Replicates: 16,
-		Attacks:    []string{campaign.AttackDoS, campaign.AttackDelay},
-		Onsets:     []int{175, 182},
-	}
-	jobs, err := spec.NumJobs()
-	if err != nil {
-		b.Fatal(err)
-	}
-	if jobs != 64 {
-		b.Fatalf("grid size = %d, want 64", jobs)
-	}
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				sum, err := campaign.Run(context.Background(), spec,
-					campaign.Options{Workers: workers, DiscardOutcomes: true})
-				if err != nil {
-					b.Fatal(err)
-				}
-				if agg := sum.Aggregate; agg.Detected != 64 || agg.FalsePositives != 0 {
-					b.Fatalf("aggregate drifted: %+v", agg)
-				}
-			}
+			benchSuiteScenario(b, fmt.Sprintf("campaign_w%d", workers))
 			if sec := b.Elapsed().Seconds(); sec > 0 {
-				b.ReportMetric(float64(jobs*b.N)/sec, "runs/s")
+				b.ReportMetric(float64(suite.CampaignJobs*b.N)/sec, "runs/s")
 			}
 		})
 	}
 }
 
 // --- Kernel microbenchmarks ---------------------------------------------
+//
+// Each resolves the registered suite scenario of the same workload; the
+// RLS benchmark's reported ns/op covers a full 256-regressor cycle (see
+// the scenario's Ops and the ns/logical-op metric for per-update cost).
 
-func BenchmarkRLSUpdateOrder8(b *testing.B) {
-	r, err := estimate.NewRLS(8, 0.98, 1)
-	if err != nil {
-		b.Fatal(err)
-	}
-	// Cycle pre-generated regressors: repeating a single regressor forever
-	// leaves the orthogonal subspace unexcited and the forgetting factor
-	// blows its covariance up (wind-up), which is not the usage pattern
-	// being measured.
-	src := noise.NewSource(1)
-	hs := make([][]float64, 256)
-	for i := range hs {
-		hs[i] = src.GaussianVec(8, 0, 1)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := r.Update(hs[i%len(hs)], 1.0); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkDetectorStep(b *testing.B) {
-	sched := prbs.PaperFigureSchedule()
-	det, err := cra.NewDetector(sched, 1e-13)
-	if err != nil {
-		b.Fatal(err)
-	}
-	m := radar.Measurement{K: 20, Power: 1e-11}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		det.Step(m)
-	}
-}
-
-func BenchmarkRootMUSIC256(b *testing.B) {
-	est, err := music.New(music.Config{Order: 12, NumSignals: 1})
-	if err != nil {
-		b.Fatal(err)
-	}
-	p := radar.BoschLRR2()
-	src := noise.NewSource(2)
-	sweep, err := p.SynthesizeSweep(100, -1.5, 256, src)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := est.Frequencies(sweep.Up); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkFFT1024(b *testing.B) {
-	src := noise.NewSource(3)
-	x := src.ComplexNoiseVec(1024, 1)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		fft.Forward(x)
-	}
-}
-
-func BenchmarkSynthesizeSweep(b *testing.B) {
-	p := radar.BoschLRR2()
-	src := noise.NewSource(4)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := p.SynthesizeSweep(100, -1.5, 256, src); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkRLSUpdateOrder8(b *testing.B) { benchSuiteScenario(b, "kernel_rls_update_order8") }
+func BenchmarkDetectorStep(b *testing.B)    { benchSuiteScenario(b, "kernel_cra_check") }
+func BenchmarkRootMUSIC256(b *testing.B)    { benchSuiteScenario(b, "kernel_root_music_256") }
+func BenchmarkFFT1024(b *testing.B)         { benchSuiteScenario(b, "kernel_fft_1024") }
+func BenchmarkSynthesizeSweep(b *testing.B) { benchSuiteScenario(b, "kernel_synthesize_sweep") }
+func BenchmarkSimStep(b *testing.B)         { benchSuiteScenario(b, "kernel_sim_step") }

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRuntimeMetricsOnScrape: GET /metrics must expose the go_* runtime
+// gauge families, refreshed per scrape, with the bounded quantile label.
+func TestRuntimeMetricsOnScrape(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE go_heap_bytes gauge",
+		"# TYPE go_goroutines gauge",
+		"# TYPE go_gc_cycles gauge",
+		"# TYPE go_gc_pause_seconds gauge",
+		"# TYPE go_sched_latency_seconds gauge",
+		`go_gc_pause_seconds{quantile="p50"}`,
+		`go_gc_pause_seconds{quantile="p99"}`,
+		`go_gc_pause_seconds{quantile="max"}`,
+		`go_sched_latency_seconds{quantile="p50"}`,
+		`go_sched_latency_seconds{quantile="p99"}`,
+		`go_sched_latency_seconds{quantile="max"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// The collector runs on the scrape itself, so a live process must
+	// report a plausible heap and at least one goroutine.
+	heap := gaugeValue(t, text, "go_heap_bytes")
+	if heap <= 0 {
+		t.Errorf("go_heap_bytes = %v, want > 0", heap)
+	}
+	if n := gaugeValue(t, text, "go_goroutines"); n < 1 {
+		t.Errorf("go_goroutines = %v, want >= 1", n)
+	}
+}
+
+// gaugeValue extracts an unlabeled gauge's sample value from exposition
+// text.
+func gaugeValue(t *testing.T, text, name string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\S+)$`)
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("no sample line for %s", name)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("parsing %s value %q: %v", name, m[1], err)
+	}
+	return v
+}

@@ -165,8 +165,16 @@ func NewServer(cfg Config) *Server {
 	}
 	s.traces = s.cfg.Traces
 	s.metrics = newHTTPMetrics(s.cfg.Metrics)
+	// Runtime/GC telemetry (go_heap_bytes, go_goroutines, go_gc_cycles,
+	// go_gc_pause_seconds, go_sched_latency_seconds) is refreshed on
+	// every scrape so the exposition always carries current values.
+	runtimeCollector := obs.NewRuntimeCollector(s.cfg.Metrics)
+	metricsHandler := s.cfg.Metrics.Handler()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.Handle("GET /metrics", s.cfg.Metrics.Handler())
+	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		runtimeCollector.Collect()
+		metricsHandler.ServeHTTP(w, r)
+	})
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)

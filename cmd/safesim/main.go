@@ -5,7 +5,16 @@
 //
 //	safesim [-attack none|dos|delay] [-defended] [-steps N] [-seed S]
 //	        [-offset M] [-onset K] [-leader const|phased] [-csv FILE]
-//	        [-events-out FILE] [-timing]
+//	        [-events-out FILE] [-timing] [-profile-dir DIR]
+//
+// -profile-dir writes pprof profiles of the run for offline analysis
+// (`go tool pprof DIR/cpu.pprof`): cpu.pprof covers the simulation
+// itself, heap.pprof is an end-of-run allocation snapshot. For the
+// long-running service, fetch the same profiles over HTTP from the
+// safesensed -pprof-addr mux instead: CPU via
+// /debug/pprof/profile?seconds=N (the seconds query parameter bounds
+// the sample window) and heap via /debug/pprof/heap?gc=1 (gc=1 runs a
+// collection first so the snapshot shows live objects only).
 package main
 
 import (
@@ -14,6 +23,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"safesense/internal/attack"
@@ -34,6 +46,7 @@ func main() {
 	width := flag.Int("width", 96, "plot width")
 	height := flag.Int("height", 20, "plot height")
 	timing := flag.Bool("timing", false, "print the per-phase timing breakdown next to the summary")
+	profileDir := flag.String("profile-dir", "", "write cpu.pprof and heap.pprof for this run into DIR")
 	flag.Parse()
 
 	if err := validateFlags(*attackKind, *leader, *steps, *onset, *offset, *width, *height); err != nil {
@@ -41,7 +54,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*attackKind, *leader, *csvPath, *eventsPath, *defended, *timing, *steps, *seed, *offset, *onset, *width, *height); err != nil {
+	if err := run(*attackKind, *leader, *csvPath, *eventsPath, *profileDir, *defended, *timing, *steps, *seed, *offset, *onset, *width, *height); err != nil {
 		fmt.Fprintln(os.Stderr, "safesim:", err)
 		os.Exit(1)
 	}
@@ -78,7 +91,7 @@ func validateFlags(attackKind, leader string, steps, onset int, offset float64, 
 	return nil
 }
 
-func run(attackKind, leader, csvPath, eventsPath string, defended, timing bool, steps int, seed int64, offset float64, onset, width, height int) error {
+func run(attackKind, leader, csvPath, eventsPath, profileDir string, defended, timing bool, steps int, seed int64, offset float64, onset, width, height int) error {
 	var s sim.Scenario
 	switch leader {
 	case "const":
@@ -105,11 +118,22 @@ func run(attackKind, leader, csvPath, eventsPath string, defended, timing bool, 
 		return fmt.Errorf("unknown attack %q", attackKind)
 	}
 
+	stopProfiles, err := startProfiles(profileDir)
+	if err != nil {
+		return err
+	}
 	start := time.Now()
 	res, err := sim.Run(s)
 	wall := time.Since(start)
+	if perr := stopProfiles(); err == nil {
+		err = perr
+	}
 	if err != nil {
 		return err
+	}
+	if profileDir != "" {
+		fmt.Printf("wrote %s and %s\n",
+			filepath.Join(profileDir, "cpu.pprof"), filepath.Join(profileDir, "heap.pprof"))
 	}
 	opt := trace.PlotOptions{Width: width, Height: height}
 	if err := res.Distance.RenderASCII(os.Stdout, opt); err != nil {
@@ -142,6 +166,40 @@ func run(attackKind, leader, csvPath, eventsPath string, defended, timing bool, 
 		}
 	}
 	return nil
+}
+
+// startProfiles begins a CPU profile in dir and returns a stop function
+// that ends it and writes an end-of-run heap snapshot (after a forced
+// collection, so the snapshot shows live objects only). With an empty
+// dir both halves are no-ops.
+func startProfiles(dir string) (func() error, error) {
+	if dir == "" {
+		return func() error { return nil }, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cpu, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, err
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := cpu.Close(); err != nil {
+			return err
+		}
+		heap, err := os.Create(filepath.Join(dir, "heap.pprof"))
+		if err != nil {
+			return err
+		}
+		defer heap.Close()
+		runtime.GC()
+		return pprof.WriteHeapProfile(heap)
+	}, nil
 }
 
 // writeEvents exports the flight-recorder timeline as JSON Lines, one

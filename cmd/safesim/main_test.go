@@ -68,6 +68,43 @@ func TestPrintTiming(t *testing.T) {
 	}
 }
 
+// TestProfileDirWritesProfiles: -profile-dir brackets the run with a CPU
+// profile and ends it with a heap snapshot; both files must exist and be
+// non-empty so `go tool pprof` has something to open.
+func TestProfileDirWritesProfiles(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "profiles")
+	stop, err := startProfiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(sim.Fig2aDoS()); err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"cpu.pprof", "heap.pprof"} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s not written: %v", name, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}
+
+// TestStartProfilesDisabled: the empty-dir path is a pair of no-ops.
+func TestStartProfilesDisabled(t *testing.T) {
+	stop, err := startProfiles("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestWriteEventsJSONL: -events-out produces one parseable JSON object
 // per line carrying the spoofing run's detection/recovery timeline.
 func TestWriteEventsJSONL(t *testing.T) {

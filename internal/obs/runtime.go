@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// This file bridges the Go runtime's own telemetry (runtime/metrics)
+// into the obs registry: heap size, goroutine count, GC cycle/pause
+// accounting, and scheduler latency quantiles. The same snapshot feeds
+// two consumers — the safesensed /metrics endpoint (refreshed per
+// scrape by a RuntimeCollector) and the internal/perf runner (per-
+// repetition deltas in BENCH documents).
+
+// runtime/metrics sample names read by ReadRuntime.
+const (
+	rmHeapBytes  = "/memory/classes/heap/objects:bytes"
+	rmGoroutines = "/sched/goroutines:goroutines"
+	rmGCCycles   = "/gc/cycles/total:gc-cycles"
+	rmGCPauses   = "/sched/pauses/total/gc:seconds"
+	rmSchedLat   = "/sched/latencies:seconds"
+)
+
+// RuntimeSnapshot is a point-in-time read of runtime health. Cycle and
+// pause fields are cumulative since process start, so consumers diff
+// two snapshots; quantiles summarize the full distribution so far.
+type RuntimeSnapshot struct {
+	// HeapBytes is the live heap object memory (bytes).
+	HeapBytes float64
+	// Goroutines is the live goroutine count.
+	Goroutines float64
+	// GCCycles is the cumulative completed GC cycle count.
+	GCCycles float64
+	// GCPauseTotalSeconds approximates cumulative stop-the-world pause
+	// time (bucket-midpoint sum over the runtime's pause histogram).
+	GCPauseTotalSeconds float64
+	// GCPauseP50Seconds / GCPauseP99Seconds / GCPauseMaxSeconds
+	// summarize the pause distribution.
+	GCPauseP50Seconds, GCPauseP99Seconds, GCPauseMaxSeconds float64
+	// SchedLatencyP50Seconds / SchedLatencyP99Seconds /
+	// SchedLatencyMaxSeconds summarize how long runnable goroutines
+	// waited for a thread — the first number to look at when campaign
+	// workers starve.
+	SchedLatencyP50Seconds, SchedLatencyP99Seconds, SchedLatencyMaxSeconds float64
+}
+
+// ReadRuntime samples the runtime. Unsupported metric names (older
+// toolchains) leave their fields zero rather than failing: telemetry
+// must never take the process down.
+func ReadRuntime() RuntimeSnapshot {
+	samples := []metrics.Sample{
+		{Name: rmHeapBytes},
+		{Name: rmGoroutines},
+		{Name: rmGCCycles},
+		{Name: rmGCPauses},
+		{Name: rmSchedLat},
+	}
+	metrics.Read(samples)
+
+	var s RuntimeSnapshot
+	s.HeapBytes = uint64Value(samples[0])
+	s.Goroutines = uint64Value(samples[1])
+	s.GCCycles = uint64Value(samples[2])
+	if h := histValue(samples[3]); h != nil {
+		s.GCPauseTotalSeconds = histApproxSum(h)
+		s.GCPauseP50Seconds = histQuantile(h, 0.50)
+		s.GCPauseP99Seconds = histQuantile(h, 0.99)
+		s.GCPauseMaxSeconds = histMax(h)
+	}
+	if h := histValue(samples[4]); h != nil {
+		s.SchedLatencyP50Seconds = histQuantile(h, 0.50)
+		s.SchedLatencyP99Seconds = histQuantile(h, 0.99)
+		s.SchedLatencyMaxSeconds = histMax(h)
+	}
+	return s
+}
+
+func uint64Value(s metrics.Sample) float64 {
+	if s.Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return float64(s.Value.Uint64())
+}
+
+func histValue(s metrics.Sample) *metrics.Float64Histogram {
+	if s.Value.Kind() != metrics.KindFloat64Histogram {
+		return nil
+	}
+	return s.Value.Float64Histogram()
+}
+
+// bucketMid returns a representative value for bucket i of h
+// (Counts[i] spans Buckets[i]..Buckets[i+1]); infinite edges fall back
+// to the finite boundary.
+func bucketMid(h *metrics.Float64Histogram, i int) float64 {
+	lo, hi := h.Buckets[i], h.Buckets[i+1]
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+		return 0
+	case math.IsInf(lo, -1):
+		return hi
+	case math.IsInf(hi, 1):
+		return lo
+	}
+	return (lo + hi) / 2
+}
+
+// histApproxSum estimates the histogram's total mass as sum of
+// count x bucket midpoint — exact enough for pause-time deltas.
+func histApproxSum(h *metrics.Float64Histogram) float64 {
+	var sum float64
+	for i, c := range h.Counts {
+		if c > 0 {
+			sum += float64(c) * bucketMid(h, i)
+		}
+	}
+	return sum
+}
+
+// histQuantile returns the smallest bucket boundary at or above the
+// q-quantile of the histogram's observations (0 when empty).
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			return bucketMid(h, i)
+		}
+	}
+	return bucketMid(h, len(h.Counts)-1)
+}
+
+// histMax returns the highest occupied bucket's representative value.
+func histMax(h *metrics.Float64Histogram) float64 {
+	for i := len(h.Counts) - 1; i >= 0; i-- {
+		if h.Counts[i] > 0 {
+			return bucketMid(h, i)
+		}
+	}
+	return 0
+}
+
+// RuntimeCollector publishes a RuntimeSnapshot as go_* gauge families.
+// Collect refreshes them; safesensed calls it on every /metrics scrape
+// so the exposition always carries current runtime health.
+type RuntimeCollector struct {
+	read func() RuntimeSnapshot
+
+	heap       *Gauge
+	goroutines *Gauge
+	gcCycles   *Gauge
+	gcPause    *GaugeVec // quantile: p50 | p99 | max
+	schedLat   *GaugeVec // quantile: p50 | p99 | max
+}
+
+// Quantile label values of the go_gc_pause_seconds and
+// go_sched_latency_seconds families.
+const (
+	QuantileP50 = "p50"
+	QuantileP99 = "p99"
+	QuantileMax = "max"
+)
+
+// NewRuntimeCollector registers the go_* families on r and returns the
+// collector (registration is idempotent per registry).
+func NewRuntimeCollector(r *Registry) *RuntimeCollector {
+	return &RuntimeCollector{
+		read: ReadRuntime,
+		heap: r.Gauge("go_heap_bytes",
+			"Live heap object memory in bytes (runtime/metrics).").With(),
+		goroutines: r.Gauge("go_goroutines",
+			"Live goroutine count.").With(),
+		gcCycles: r.Gauge("go_gc_cycles",
+			"Completed GC cycles since process start.").With(),
+		gcPause: r.Gauge("go_gc_pause_seconds",
+			"GC stop-the-world pause distribution since process start, by quantile.",
+			"quantile"),
+		schedLat: r.Gauge("go_sched_latency_seconds",
+			"Time runnable goroutines waited for a thread, by quantile.",
+			"quantile"),
+	}
+}
+
+// Collect samples the runtime and refreshes every gauge.
+func (c *RuntimeCollector) Collect() {
+	s := c.read()
+	c.heap.Set(s.HeapBytes)
+	c.goroutines.Set(s.Goroutines)
+	c.gcCycles.Set(s.GCCycles)
+	c.gcPause.With(QuantileP50).Set(s.GCPauseP50Seconds)
+	c.gcPause.With(QuantileP99).Set(s.GCPauseP99Seconds)
+	c.gcPause.With(QuantileMax).Set(s.GCPauseMaxSeconds)
+	c.schedLat.With(QuantileP50).Set(s.SchedLatencyP50Seconds)
+	c.schedLat.With(QuantileP99).Set(s.SchedLatencyP99Seconds)
+	c.schedLat.With(QuantileMax).Set(s.SchedLatencyMaxSeconds)
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"strings"
+	"testing"
+)
+
+func TestReadRuntimeLiveValues(t *testing.T) {
+	// Force at least one GC cycle so cumulative counters are nonzero.
+	runtime.GC()
+	s := ReadRuntime()
+	if s.HeapBytes <= 0 {
+		t.Errorf("HeapBytes = %v, want > 0", s.HeapBytes)
+	}
+	if s.Goroutines < 1 {
+		t.Errorf("Goroutines = %v, want >= 1", s.Goroutines)
+	}
+	if s.GCCycles < 1 {
+		t.Errorf("GCCycles = %v, want >= 1 after runtime.GC", s.GCCycles)
+	}
+	// Pause and latency summaries must be finite and ordered.
+	for name, v := range map[string]float64{
+		"GCPauseTotalSeconds":    s.GCPauseTotalSeconds,
+		"GCPauseP99Seconds":      s.GCPauseP99Seconds,
+		"SchedLatencyP99Seconds": s.SchedLatencyP99Seconds,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			t.Errorf("%s = %v, want finite >= 0", name, v)
+		}
+	}
+	if s.GCPauseP50Seconds > s.GCPauseMaxSeconds {
+		t.Errorf("pause p50 %v > max %v", s.GCPauseP50Seconds, s.GCPauseMaxSeconds)
+	}
+	if s.SchedLatencyP50Seconds > s.SchedLatencyMaxSeconds {
+		t.Errorf("sched p50 %v > max %v", s.SchedLatencyP50Seconds, s.SchedLatencyMaxSeconds)
+	}
+}
+
+func TestReadRuntimeMonotoneCumulative(t *testing.T) {
+	before := ReadRuntime()
+	runtime.GC()
+	after := ReadRuntime()
+	if after.GCCycles < before.GCCycles+1 {
+		t.Errorf("GCCycles did not advance: %v -> %v", before.GCCycles, after.GCCycles)
+	}
+	if after.GCPauseTotalSeconds < before.GCPauseTotalSeconds {
+		t.Errorf("pause total went backwards: %v -> %v",
+			before.GCPauseTotalSeconds, after.GCPauseTotalSeconds)
+	}
+}
+
+func mkHist(counts []uint64, buckets []float64) *metrics.Float64Histogram {
+	return &metrics.Float64Histogram{Counts: counts, Buckets: buckets}
+}
+
+func TestHistHelpers(t *testing.T) {
+	// Buckets: [-Inf,1) [1,2) [2,+Inf) with counts 2, 6, 2.
+	h := mkHist([]uint64{2, 6, 2}, []float64{math.Inf(-1), 1, 2, math.Inf(1)})
+
+	if got := bucketMid(h, 0); got != 1 {
+		t.Errorf("mid(-Inf,1) = %v, want 1", got)
+	}
+	if got := bucketMid(h, 1); got != 1.5 {
+		t.Errorf("mid(1,2) = %v, want 1.5", got)
+	}
+	if got := bucketMid(h, 2); got != 2 {
+		t.Errorf("mid(2,+Inf) = %v, want 2", got)
+	}
+
+	// Sum: 2*1 + 6*1.5 + 2*2 = 15.
+	if got := histApproxSum(h); got != 15 {
+		t.Errorf("sum = %v, want 15", got)
+	}
+	// p50 lands in the middle bucket, max in the top one.
+	if got := histQuantile(h, 0.50); got != 1.5 {
+		t.Errorf("q50 = %v, want 1.5", got)
+	}
+	if got := histQuantile(h, 0.05); got != 1 {
+		t.Errorf("q05 = %v, want 1", got)
+	}
+	if got := histQuantile(h, 0.99); got != 2 {
+		t.Errorf("q99 = %v, want 2", got)
+	}
+	if got := histMax(h); got != 2 {
+		t.Errorf("max = %v, want 2", got)
+	}
+
+	empty := mkHist([]uint64{0, 0}, []float64{0, 1, 2})
+	if histQuantile(empty, 0.5) != 0 || histMax(empty) != 0 || histApproxSum(empty) != 0 {
+		t.Error("empty histogram should summarize to zeros")
+	}
+}
+
+func TestRuntimeCollector(t *testing.T) {
+	r := NewRegistry()
+	c := NewRuntimeCollector(r)
+	// Substitute a deterministic snapshot source.
+	c.read = func() RuntimeSnapshot {
+		return RuntimeSnapshot{
+			HeapBytes:              2048,
+			Goroutines:             7,
+			GCCycles:               3,
+			GCPauseP50Seconds:      0.001,
+			GCPauseP99Seconds:      0.004,
+			GCPauseMaxSeconds:      0.010,
+			SchedLatencyP50Seconds: 0.0002,
+			SchedLatencyP99Seconds: 0.0008,
+			SchedLatencyMaxSeconds: 0.0030,
+		}
+	}
+	c.Collect()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"go_heap_bytes 2048",
+		"go_goroutines 7",
+		"go_gc_cycles 3",
+		`go_gc_pause_seconds{quantile="p50"} 0.001`,
+		`go_gc_pause_seconds{quantile="p99"} 0.004`,
+		`go_gc_pause_seconds{quantile="max"} 0.01`,
+		`go_sched_latency_seconds{quantile="p50"} 0.0002`,
+		`go_sched_latency_seconds{quantile="max"} 0.003`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRuntimeCollectorLiveRead(t *testing.T) {
+	r := NewRegistry()
+	c := NewRuntimeCollector(r)
+	c.Collect() // default ReadRuntime source must not panic
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "go_goroutines") {
+		t.Error("live collect did not publish go_goroutines")
+	}
+}

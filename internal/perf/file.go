@@ -1,0 +1,128 @@
+package perf
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// BENCH_<n>.json naming: each `safesense-perf run` (and each CI
+// `check`) appends the next number in the directory, so the perf
+// trajectory accumulates one document per capture without collisions.
+
+// benchPrefix and benchPattern define the trajectory file naming.
+const benchPrefix = "BENCH_"
+
+// NextBenchPath returns the first unused BENCH_<n>.json path in dir,
+// scanning existing files for the highest sequence number.
+func NextBenchPath(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil && !os.IsNotExist(err) {
+		return "", fmt.Errorf("perf: scanning %s: %w", dir, err)
+	}
+	max := 0
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, benchPrefix) || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		numPart := strings.TrimSuffix(strings.TrimPrefix(name, benchPrefix), ".json")
+		n := 0
+		if _, err := fmt.Sscanf(numPart, "%d", &n); err != nil {
+			continue
+		}
+		if n > max {
+			max = n
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("%s%04d.json", benchPrefix, max+1)), nil
+}
+
+// WriteRunFile serializes the run document to path (parent directories
+// are created), pretty-printed so BENCH diffs review cleanly.
+func WriteRunFile(path string, run *Run) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("perf: %w", err)
+	}
+	data, err := json.MarshalIndent(run, "", "  ")
+	if err != nil {
+		return fmt.Errorf("perf: encoding run: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("perf: %w", err)
+	}
+	return nil
+}
+
+// ReadRunFile loads and schema-validates a run document.
+func ReadRunFile(path string) (*Run, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("perf: %w", err)
+	}
+	var run Run
+	if err := json.Unmarshal(data, &run); err != nil {
+		return nil, fmt.Errorf("perf: decoding %s: %w", path, err)
+	}
+	if err := run.ValidateSchema(); err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return &run, nil
+}
+
+// WaiverDirective is the escape-hatch marker: a line in the waivers
+// file reading
+//
+//	safesense:perf-waiver <scenario> <reason...>
+//
+// exempts the scenario from failing the gate (its regressions are still
+// reported). The directive mirrors the //safesense:allow style the lint
+// layer uses, adapted to a standalone file because BENCH documents are
+// JSON. Waivers are deliberately loud in review: adding one is a diff
+// line a reviewer must justify.
+const WaiverDirective = "safesense:perf-waiver"
+
+// ParseWaivers reads a waivers stream: blank lines and #-comments are
+// skipped, every other line must be a WaiverDirective. Returns
+// scenario -> reason.
+func ParseWaivers(r io.Reader) (map[string]string, error) {
+	waivers := make(map[string]string)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] != WaiverDirective || len(fields) < 3 {
+			return nil, fmt.Errorf("perf: waivers line %d: want %q <scenario> <reason>, got %q",
+				lineNo, WaiverDirective, line)
+		}
+		waivers[fields[1]] = strings.Join(fields[2:], " ")
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("perf: reading waivers: %w", err)
+	}
+	return waivers, nil
+}
+
+// ReadWaiversFile loads a waivers file; a missing file is an empty
+// waiver set, not an error, so the gate runs strict by default.
+func ReadWaiversFile(path string) (map[string]string, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return map[string]string{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("perf: %w", err)
+	}
+	defer f.Close()
+	return ParseWaivers(f)
+}

@@ -1,0 +1,257 @@
+package perf
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"safesense/internal/obs"
+)
+
+// fakeClock advances a fixed step per reading, making runner timing
+// fully deterministic.
+type fakeClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) now() time.Time {
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+func testRunner(cfg RunnerConfig, step time.Duration) *Runner {
+	r := NewRunner(cfg)
+	clock := &fakeClock{t: time.Unix(1700000000, 0), step: step}
+	r.now = clock.now
+	r.readRuntime = func() obs.RuntimeSnapshot {
+		return obs.RuntimeSnapshot{HeapBytes: 1 << 20, Goroutines: 2, GCCycles: 5}
+	}
+	return r
+}
+
+func countingScenario(calls *int) Scenario {
+	return Scenario{
+		Name:  "counting",
+		Group: "test",
+		Ops:   3,
+		Setup: func() (func(r *Rep) error, error) {
+			return func(r *Rep) error {
+				*calls++
+				r.Observe("calls_total", float64(*calls))
+				return nil
+			}, nil
+		},
+	}
+}
+
+func TestRunnerConfigDefaults(t *testing.T) {
+	cfg := RunnerConfig{}.withDefaults()
+	if cfg.Reps != 10 || cfg.Warmup != 1 || cfg.MinRepMillis != 20 || cfg.MaxInner != 1<<16 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	// Warmup can be explicitly disabled with a negative value.
+	if got := (RunnerConfig{Warmup: -1}).withDefaults().Warmup; got != 0 {
+		t.Errorf("Warmup=-1 -> %d, want 0", got)
+	}
+}
+
+// TestRunScenarioDeterministic drives the runner entirely through its
+// seams: sample counts, per-op scaling, runtime extras, and body
+// observations all come out exactly as configured.
+func TestRunScenarioDeterministic(t *testing.T) {
+	// Each clock read advances 30ms, so one body call "takes" 30ms —
+	// past the 20ms floor, calibration picks inner=1.
+	r := testRunner(RunnerConfig{Reps: 5, Warmup: 1, MinRepMillis: 20}, 30*time.Millisecond)
+	calls := 0
+	res, err := r.RunScenario(countingScenario(&calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 calibration + 1 warmup + 5 measured reps, inner=1 each.
+	if calls != 7 {
+		t.Errorf("body calls = %d, want 7", calls)
+	}
+	if len(res.NsPerOp) != 5 || len(res.AllocsPerOp) != 5 || len(res.BytesPerOp) != 5 {
+		t.Fatalf("sample counts = %d/%d/%d, want 5 each",
+			len(res.NsPerOp), len(res.AllocsPerOp), len(res.BytesPerOp))
+	}
+	// One rep = one timed window = one 30ms step across Ops=3 ops.
+	wantNs := float64(30*time.Millisecond) / 3
+	for i, ns := range res.NsPerOp {
+		if ns != wantNs {
+			t.Errorf("rep %d: ns/op = %v, want %v", i, ns, wantNs)
+		}
+	}
+	for _, name := range []string{ExtraHeapBytes, ExtraGoroutines, ExtraGCCyclesDelta, ExtraGCPauseSeconds, "calls_total"} {
+		if got := len(res.Extra[name]); got != 5 {
+			t.Errorf("extra %q: %d samples, want 5", name, got)
+		}
+	}
+	// Fake runtime snapshots are constant, so cycle deltas are zero.
+	for _, d := range res.Extra[ExtraGCCyclesDelta] {
+		if d != 0 {
+			t.Errorf("gc cycle delta = %v, want 0", d)
+		}
+	}
+	if res.Name != "counting" || res.Group != "test" || res.Ops != 3 {
+		t.Errorf("identity fields = %+v", res)
+	}
+}
+
+// TestRunnerCalibration: a fast body gets an inner loop sized to reach
+// the per-rep floor, capped at MaxInner.
+func TestRunnerCalibration(t *testing.T) {
+	// One clock step = 1ms per body call; floor 20ms → inner = 21.
+	r := testRunner(RunnerConfig{Reps: 2, Warmup: 1, MinRepMillis: 20}, time.Millisecond)
+	calls := 0
+	res, err := r.RunScenario(countingScenario(&calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := 21
+	// calibration(1) + warmup(inner) + 2 reps * inner.
+	if want := 1 + inner + 2*inner; calls != want {
+		t.Errorf("body calls = %d, want %d", calls, want)
+	}
+	// The fake clock advances only on now() reads, so the measured
+	// window is exactly one step divided across inner*Ops operations.
+	wantNs := float64(time.Millisecond) / (float64(inner) * 3)
+	if res.NsPerOp[0] != wantNs {
+		t.Errorf("ns/op = %v, want %v", res.NsPerOp[0], wantNs)
+	}
+
+	// MaxInner caps runaway loop counts for sub-microsecond bodies.
+	r = testRunner(RunnerConfig{Reps: 1, Warmup: -1, MinRepMillis: 1000, MaxInner: 8}, time.Millisecond)
+	calls = 0
+	if _, err := r.RunScenario(countingScenario(&calls)); err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 + 8; calls != want { // calibration + 1 rep * capped inner
+		t.Errorf("capped body calls = %d, want %d", calls, want)
+	}
+}
+
+func TestRunScenarioErrors(t *testing.T) {
+	r := testRunner(RunnerConfig{Reps: 2}, time.Millisecond)
+	boom := errors.New("boom")
+	_, err := r.RunScenario(Scenario{
+		Name: "bad-setup", Ops: 1,
+		Setup: func() (func(*Rep) error, error) { return nil, boom },
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("setup error not propagated: %v", err)
+	}
+	_, err = r.RunScenario(Scenario{
+		Name: "bad-body", Ops: 1,
+		Setup: func() (func(*Rep) error, error) {
+			return func(*Rep) error { return boom }, nil
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("body error not propagated: %v", err)
+	}
+}
+
+func TestRunSuite(t *testing.T) {
+	r := testRunner(RunnerConfig{Reps: 3, Warmup: 1, MinRepMillis: 1}, 5*time.Millisecond)
+	var visited []string
+	r.OnScenario = func(name string) { visited = append(visited, name) }
+	c1, c2 := 0, 0
+	s1 := countingScenario(&c1)
+	s2 := countingScenario(&c2)
+	s2.Name = "counting_2"
+	run, err := r.RunSuite([]Scenario{s1, s2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.SchemaVersion != SchemaVersion {
+		t.Errorf("schema version = %d", run.SchemaVersion)
+	}
+	if len(run.Scenarios) != 2 || run.Scenarios[0].Name != "counting" || run.Scenarios[1].Name != "counting_2" {
+		t.Errorf("scenarios = %+v", run.Scenarios)
+	}
+	if len(visited) != 2 {
+		t.Errorf("OnScenario visits = %v", visited)
+	}
+	if run.Config.Reps != 3 {
+		t.Errorf("config echo = %+v", run.Config)
+	}
+	if run.CreatedAt == "" {
+		t.Error("CreatedAt empty")
+	}
+	if _, err := time.Parse(time.RFC3339, run.CreatedAt); err != nil {
+		t.Errorf("CreatedAt %q not RFC 3339: %v", run.CreatedAt, err)
+	}
+	if run.Host.CPUs < 1 {
+		t.Errorf("host fingerprint = %+v", run.Host)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	g := NewRegistry()
+	ok := Scenario{Name: "a", Ops: 1, Setup: func() (func(*Rep) error, error) { return nil, nil }}
+	if err := g.Register(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Register(ok); err == nil {
+		t.Error("duplicate accepted")
+	}
+	bad := ok
+	bad.Name = ""
+	if err := g.Register(bad); err == nil {
+		t.Error("empty name accepted")
+	}
+	bad = ok
+	bad.Name = "b"
+	bad.Setup = nil
+	if err := g.Register(bad); err == nil {
+		t.Error("nil Setup accepted")
+	}
+	bad = ok
+	bad.Name = "c"
+	bad.Ops = 0
+	if err := g.Register(bad); err == nil {
+		t.Error("Ops=0 accepted")
+	}
+
+	b := ok
+	b.Name = "kernel_b"
+	g.MustRegister(b)
+	if _, found := g.Lookup("kernel_b"); !found {
+		t.Error("Lookup failed")
+	}
+	if _, found := g.Lookup("missing"); found {
+		t.Error("Lookup found a ghost")
+	}
+	if got := g.Scenarios(); len(got) != 2 || got[0].Name != "a" {
+		t.Errorf("Scenarios order = %v", got)
+	}
+	matched, err := g.Match("^kernel_")
+	if err != nil || len(matched) != 1 || matched[0].Name != "kernel_b" {
+		t.Errorf("Match = %v, %v", matched, err)
+	}
+	all, err := g.Match("")
+	if err != nil || len(all) != 2 {
+		t.Errorf("Match(\"\") = %v, %v", all, err)
+	}
+	if _, err := g.Match("["); err == nil {
+		t.Error("bad pattern accepted")
+	}
+}
+
+func TestRepObserve(t *testing.T) {
+	rep := NewRep()
+	rep.Observe("x", 1)
+	rep.Observe("x", 2) // last write wins
+	if rep.Value("x") != 2 {
+		t.Errorf("Value = %v", rep.Value("x"))
+	}
+	if rep.Value("never") != 0 {
+		t.Error("unobserved name should read 0")
+	}
+	rep.reset()
+	if rep.Value("x") != 0 {
+		t.Error("reset did not clear")
+	}
+}

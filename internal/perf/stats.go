@@ -1,0 +1,155 @@
+package perf
+
+import (
+	"math"
+	"sort"
+)
+
+// This file is the comparator's statistical core: a two-sided
+// Mann-Whitney U test (normal approximation with tie and continuity
+// corrections, the benchstat approach for the sample sizes a perf run
+// produces), Cliff's delta as the effect size, and the median helpers.
+// Everything guards against NaN/Inf samples and degenerate inputs —
+// identical sample sets, all-zero series (allocation counts), and tiny
+// N — because the regression gate must fail loudly on real slowdowns
+// and never on arithmetic edge cases.
+
+// minSamplesPerSide is the smallest per-side sample count the U test
+// accepts: below it the normal approximation is meaningless (with 3 vs
+// 3 samples the best achievable two-sided exact p is 0.1), so the
+// comparator reports "insufficient data" instead of a fake p-value.
+const minSamplesPerSide = 4
+
+// finite returns the finite entries of samples (NaN and ±Inf dropped)
+// plus the number removed.
+func finite(samples []float64) (out []float64, dropped int) {
+	out = make([]float64, 0, len(samples))
+	for _, v := range samples {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			dropped++
+			continue
+		}
+		out = append(out, v)
+	}
+	return out, dropped
+}
+
+// median returns the sample median (ok=false on an empty set). Non-
+// finite values must already be filtered.
+func median(samples []float64) (m float64, ok bool) {
+	if len(samples) == 0 {
+		return 0, false
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2], true
+	}
+	return (s[n/2-1] + s[n/2]) / 2, true
+}
+
+// MannWhitney runs the two-sided Mann-Whitney U test on x (old) vs y
+// (new). It returns the p-value for H0 "both sides come from the same
+// distribution" and ok=false when the inputs cannot support a verdict:
+// fewer than minSamplesPerSide finite samples on either side. Non-finite
+// samples are dropped before ranking. Fully tied data (every sample
+// equal) yields p = 1: no evidence of a shift.
+func MannWhitney(x, y []float64) (p float64, ok bool) {
+	x, _ = finite(x)
+	y, _ = finite(y)
+	n1, n2 := len(x), len(y)
+	if n1 < minSamplesPerSide || n2 < minSamplesPerSide {
+		return 0, false
+	}
+
+	// Rank the pooled samples, averaging ranks across ties.
+	type tagged struct {
+		v    float64
+		from int // 0 = x, 1 = y
+	}
+	all := make([]tagged, 0, n1+n2)
+	for _, v := range x {
+		all = append(all, tagged{v, 0})
+	}
+	for _, v := range y {
+		all = append(all, tagged{v, 1})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	n := n1 + n2
+	ranks := make([]float64, n)
+	tieTerm := 0.0 // sum of t^3 - t over tie groups
+	for i := 0; i < n; {
+		j := i
+		for j < n && !(all[j].v > all[i].v) { // extend across the tie group
+			j++
+		}
+		avg := float64(i+j+1) / 2 // ranks are 1-based
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		t := float64(j - i)
+		tieTerm += t*t*t - t
+		i = j
+	}
+
+	r1 := 0.0
+	for i, tg := range all {
+		if tg.from == 0 {
+			r1 += ranks[i]
+		}
+	}
+	f1, f2, fn := float64(n1), float64(n2), float64(n)
+	u1 := r1 - f1*(f1+1)/2
+	mu := f1 * f2 / 2
+
+	// Tie-corrected variance of U; zero means every sample is equal.
+	variance := f1 * f2 / 12 * ((fn + 1) - tieTerm/(fn*(fn-1)))
+	if variance <= 0 {
+		return 1, true
+	}
+	// Continuity correction pulls |U - mu| toward zero by 1/2.
+	dev := math.Abs(u1-mu) - 0.5
+	if dev < 0 {
+		dev = 0
+	}
+	z := dev / math.Sqrt(variance)
+	return 2 * normalUpperTail(z), true
+}
+
+// normalUpperTail is P(Z > z) for the standard normal, clamped to [0, 1].
+func normalUpperTail(z float64) float64 {
+	p := 0.5 * math.Erfc(z/math.Sqrt2)
+	if p < 0 {
+		return 0
+	}
+	if p > 0.5 {
+		return 0.5
+	}
+	return p
+}
+
+// CliffsDelta is the effect size in [-1, 1]: +1 means every new sample
+// exceeds every old sample (for time/alloc metrics, "new is strictly
+// slower"), -1 the reverse, 0 full overlap. Ties count half. Non-finite
+// samples are dropped; an empty side yields 0.
+func CliffsDelta(old, new []float64) float64 {
+	old, _ = finite(old)
+	new, _ = finite(new)
+	if len(old) == 0 || len(new) == 0 {
+		return 0
+	}
+	more := 0.0
+	for _, b := range new {
+		for _, a := range old {
+			switch {
+			case b > a:
+				more++
+			case b < a:
+				more--
+			}
+		}
+	}
+	return more / float64(len(old)*len(new))
+}

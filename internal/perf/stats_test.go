@@ -1,0 +1,132 @@
+package perf
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMedian(t *testing.T) {
+	if _, ok := median(nil); ok {
+		t.Error("median(nil) should not be ok")
+	}
+	if m, ok := median([]float64{5}); !ok || m != 5 {
+		t.Errorf("median([5]) = %v, %v", m, ok)
+	}
+	if m, _ := median([]float64{4, 1, 3, 2}); !almost(m, 2.5, 1e-12) {
+		t.Errorf("median([1..4]) = %v, want 2.5", m)
+	}
+	if m, _ := median([]float64{9, 1, 5}); m != 5 {
+		t.Errorf("odd median = %v, want 5", m)
+	}
+}
+
+func TestFiniteFiltersNaNAndInf(t *testing.T) {
+	out, dropped := finite([]float64{1, math.NaN(), 2, math.Inf(1), math.Inf(-1), 3})
+	if dropped != 3 || len(out) != 3 {
+		t.Fatalf("finite: out=%v dropped=%d", out, dropped)
+	}
+}
+
+// TestMannWhitneyIdentical: identical sample sets must yield p = 1 —
+// no evidence of a shift, never a division by zero from the tie
+// correction.
+func TestMannWhitneyIdentical(t *testing.T) {
+	same := []float64{3, 3, 3, 3, 3, 3}
+	p, ok := MannWhitney(same, same)
+	if !ok || p != 1 {
+		t.Errorf("fully tied: p=%v ok=%v, want p=1 ok=true", p, ok)
+	}
+
+	// Identical but non-constant distributions: high p, defined.
+	x := []float64{1, 2, 3, 4, 5, 6}
+	p, ok = MannWhitney(x, x)
+	if !ok || p < 0.9 {
+		t.Errorf("identical sets: p=%v ok=%v, want p close to 1", p, ok)
+	}
+}
+
+// TestMannWhitneyTinyN: fewer than 4 samples per side cannot support a
+// verdict.
+func TestMannWhitneyTinyN(t *testing.T) {
+	if _, ok := MannWhitney([]float64{1, 2, 3}, []float64{4, 5, 6, 7}); ok {
+		t.Error("n1=3 should be rejected")
+	}
+	if _, ok := MannWhitney([]float64{1, 2, 3, 4}, []float64{5, 6}); ok {
+		t.Error("n2=2 should be rejected")
+	}
+	if _, ok := MannWhitney(nil, nil); ok {
+		t.Error("empty sides should be rejected")
+	}
+}
+
+// TestMannWhitneyNaNGuard: non-finite samples are dropped, and a side
+// reduced below the minimum by dropping is rejected rather than ranked
+// against garbage.
+func TestMannWhitneyNaNGuard(t *testing.T) {
+	x := []float64{1, 2, math.NaN(), 3, math.Inf(1), 4}
+	y := []float64{10, 11, 12, 13}
+	p, ok := MannWhitney(x, y)
+	if !ok {
+		t.Fatal("4 finite samples per side should be enough")
+	}
+	if p > 0.05 {
+		t.Errorf("clearly shifted sets: p=%v, want significant", p)
+	}
+
+	mostlyNaN := []float64{1, math.NaN(), math.NaN(), math.NaN(), math.NaN()}
+	if _, ok := MannWhitney(mostlyNaN, y); ok {
+		t.Error("side with 1 finite sample should be rejected")
+	}
+}
+
+// TestMannWhitneySeparated: fully separated samples are maximally
+// significant.
+func TestMannWhitneySeparated(t *testing.T) {
+	x := []float64{100, 101, 102, 103, 104, 105, 106, 107, 108, 109}
+	y := []float64{200, 201, 202, 203, 204, 205, 206, 207, 208, 209}
+	p, ok := MannWhitney(x, y)
+	if !ok || p > 0.001 {
+		t.Errorf("separated sets: p=%v ok=%v, want p < 0.001", p, ok)
+	}
+	// Symmetric in the other direction.
+	p2, _ := MannWhitney(y, x)
+	if !almost(p, p2, 1e-12) {
+		t.Errorf("test is not symmetric: %v vs %v", p, p2)
+	}
+}
+
+// TestMannWhitneyOverlapping: heavily overlapping noise must not read
+// as significant.
+func TestMannWhitneyOverlapping(t *testing.T) {
+	x := []float64{10, 11, 12, 13, 14, 15, 16, 17}
+	y := []float64{10.5, 11.5, 12.5, 13.5, 14.5, 15.5, 16.5, 17.5}
+	p, ok := MannWhitney(x, y)
+	if !ok {
+		t.Fatal("want defined p")
+	}
+	if p < 0.05 {
+		t.Errorf("overlapping sets: p=%v, should not be significant", p)
+	}
+}
+
+func TestCliffsDelta(t *testing.T) {
+	old := []float64{1, 2, 3, 4}
+	slower := []float64{10, 11, 12, 13}
+	if d := CliffsDelta(old, slower); d != 1 {
+		t.Errorf("fully separated: delta=%v, want 1", d)
+	}
+	if d := CliffsDelta(slower, old); d != -1 {
+		t.Errorf("fully separated (faster): delta=%v, want -1", d)
+	}
+	if d := CliffsDelta(old, old); d != 0 {
+		t.Errorf("identical: delta=%v, want 0", d)
+	}
+	if d := CliffsDelta(nil, slower); d != 0 {
+		t.Errorf("empty side: delta=%v, want 0", d)
+	}
+	if d := CliffsDelta([]float64{math.NaN()}, slower); d != 0 {
+		t.Errorf("all-NaN side: delta=%v, want 0", d)
+	}
+}

@@ -1,0 +1,273 @@
+// Package suite defines the repo's registered perf scenarios: the four
+// figure-level closed-loop runs, the hot kernels, and campaign
+// throughput at several worker counts. Both `safesense-perf` and the
+// root-package benchmarks (bench_test.go) drive this one registry, so
+// BENCH documents and `go test -bench` measure identical workloads.
+//
+// Every scenario is seeded at registration: a body produces the same
+// domain results on every call, and bodies double as correctness checks
+// (a perf sample from a wrong-answer run aborts the capture).
+package suite
+
+import (
+	"context"
+	"fmt"
+
+	"safesense/internal/campaign"
+	"safesense/internal/cra"
+	"safesense/internal/dsp/fft"
+	"safesense/internal/dsp/music"
+	"safesense/internal/estimate"
+	"safesense/internal/noise"
+	"safesense/internal/perf"
+	"safesense/internal/prbs"
+	"safesense/internal/radar"
+	"safesense/internal/sim"
+)
+
+// Scenario groups.
+const (
+	GroupFigure   = "figure"
+	GroupKernel   = "kernel"
+	GroupCampaign = "campaign"
+)
+
+// Deterministic observation names bodies record (beyond timing, which
+// the runner measures itself). ObsDetectedAt and ObsDetected feed the
+// suite determinism test; ObsRunsPerSec is advisory throughput.
+const (
+	ObsDetectedAt = "detected_at"
+	ObsDetected   = "detected"
+	ObsRunsPerSec = "runs_per_sec"
+)
+
+// paperDetectionStep is the step every figure scenario detects its
+// attack at (the paper's k = 182 challenge instant).
+const paperDetectionStep = 182
+
+// Default builds the full scenario registry.
+func Default() *perf.Registry {
+	g := perf.NewRegistry()
+	registerFigures(g)
+	registerKernels(g)
+	registerCampaigns(g)
+	return g
+}
+
+// figureScenario wraps one closed-loop defended run: the body executes
+// the full simulation, verifies the paper's detection step, and reports
+// the per-phase timing breakdown.
+func figureScenario(name, doc string, mk func() sim.Scenario) perf.Scenario {
+	return perf.Scenario{
+		Name:  name,
+		Group: GroupFigure,
+		Doc:   doc,
+		Ops:   1,
+		Setup: func() (func(r *perf.Rep) error, error) {
+			s := mk()
+			return func(r *perf.Rep) error {
+				res, err := sim.Run(s)
+				if err != nil {
+					return err
+				}
+				if res.DetectedAt != paperDetectionStep {
+					return fmt.Errorf("DetectedAt = %d, want %d", res.DetectedAt, paperDetectionStep)
+				}
+				r.Observe(ObsDetectedAt, float64(res.DetectedAt))
+				for _, p := range res.Phases {
+					if p.Calls > 0 {
+						r.Observe("phase_"+p.Phase+"_seconds", p.Seconds)
+					}
+				}
+				return nil
+			}, nil
+		},
+	}
+}
+
+func registerFigures(g *perf.Registry) {
+	g.MustRegister(figureScenario("fig2a_dos",
+		"Figure 2a: DoS attack, constant-deceleration leader, defended.", sim.Fig2aDoS))
+	g.MustRegister(figureScenario("fig2b_delay",
+		"Figure 2b: delay attack, constant-deceleration leader, defended.", sim.Fig2bDelay))
+	g.MustRegister(figureScenario("fig3a_dos",
+		"Figure 3a: DoS attack, decelerate-then-accelerate leader, defended.", sim.Fig3aDoS))
+	g.MustRegister(figureScenario("fig3b_delay",
+		"Figure 3b: delay attack, decelerate-then-accelerate leader, defended.", sim.Fig3bDelay))
+}
+
+func registerKernels(g *perf.Registry) {
+	g.MustRegister(perf.Scenario{
+		Name:  "kernel_root_music_256",
+		Group: GroupKernel,
+		Doc:   "Root-MUSIC frequency extraction from one 256-sample beat sweep.",
+		Ops:   1,
+		Setup: func() (func(r *perf.Rep) error, error) {
+			est, err := music.New(music.Config{Order: 12, NumSignals: 1})
+			if err != nil {
+				return nil, err
+			}
+			sweep, err := radar.BoschLRR2().SynthesizeSweep(100, -1.5, 256, noise.NewSource(2))
+			if err != nil {
+				return nil, err
+			}
+			return func(*perf.Rep) error {
+				_, err := est.Frequencies(sweep.Up)
+				return err
+			}, nil
+		},
+	})
+
+	g.MustRegister(perf.Scenario{
+		Name:  "kernel_fft_1024",
+		Group: GroupKernel,
+		Doc:   "Radix FFT over 1024 complex samples.",
+		Ops:   1,
+		Setup: func() (func(r *perf.Rep) error, error) {
+			x := noise.NewSource(3).ComplexNoiseVec(1024, 1)
+			return func(*perf.Rep) error {
+				fft.Forward(x)
+				return nil
+			}, nil
+		},
+	})
+
+	g.MustRegister(perf.Scenario{
+		Name:  "kernel_rls_update_order8",
+		Group: GroupKernel,
+		Doc:   "RLS covariance update, order 8, over a 256-regressor cycle.",
+		Ops:   256,
+		Setup: func() (func(r *perf.Rep) error, error) {
+			rls, err := estimate.NewRLS(8, 0.98, 1)
+			if err != nil {
+				return nil, err
+			}
+			// Cycle pre-generated regressors: repeating one forever leaves
+			// the orthogonal subspace unexcited and the forgetting factor
+			// winds the covariance up, which is not the usage measured.
+			src := noise.NewSource(1)
+			hs := make([][]float64, 256)
+			for i := range hs {
+				hs[i] = src.GaussianVec(8, 0, 1)
+			}
+			return func(*perf.Rep) error {
+				for _, h := range hs {
+					if _, _, err := rls.Update(h, 1.0); err != nil {
+						return err
+					}
+				}
+				return nil
+			}, nil
+		},
+	})
+
+	g.MustRegister(perf.Scenario{
+		Name:  "kernel_cra_check",
+		Group: GroupKernel,
+		Doc:   "One challenge-response authentication detector step.",
+		Ops:   1,
+		Setup: func() (func(r *perf.Rep) error, error) {
+			det, err := cra.NewDetector(prbs.PaperFigureSchedule(), 1e-13)
+			if err != nil {
+				return nil, err
+			}
+			m := radar.Measurement{K: 20, Power: 1e-11}
+			return func(*perf.Rep) error {
+				det.Step(m)
+				return nil
+			}, nil
+		},
+	})
+
+	g.MustRegister(perf.Scenario{
+		Name:  "kernel_synthesize_sweep",
+		Group: GroupKernel,
+		Doc:   "Synthesize one 256-sample FMCW radar sweep pair.",
+		Ops:   1,
+		Setup: func() (func(r *perf.Rep) error, error) {
+			p := radar.BoschLRR2()
+			src := noise.NewSource(4)
+			return func(*perf.Rep) error {
+				_, err := p.SynthesizeSweep(100, -1.5, 256, src)
+				return err
+			}, nil
+		},
+	})
+
+	g.MustRegister(perf.Scenario{
+		Name:  "kernel_sim_step",
+		Group: GroupKernel,
+		Doc:   "Per-step cost of the Fig 2a closed loop (one run / 301 steps).",
+		Ops:   301,
+		Setup: func() (func(r *perf.Rep) error, error) {
+			s := sim.Fig2aDoS()
+			if s.Steps != 301 {
+				return nil, fmt.Errorf("Fig2aDoS has %d steps, scenario assumes 301", s.Steps)
+			}
+			return func(r *perf.Rep) error {
+				res, err := sim.Run(s)
+				if err != nil {
+					return err
+				}
+				if res.DetectedAt != paperDetectionStep {
+					return fmt.Errorf("DetectedAt = %d, want %d", res.DetectedAt, paperDetectionStep)
+				}
+				return nil
+			}, nil
+		},
+	})
+}
+
+// campaignSpec is the 64-job Figure 2a/2b grid the throughput scenarios
+// sweep: DoS + delay attacks x 2 onsets x 16 seeds.
+func campaignSpec() campaign.Spec {
+	return campaign.Spec{
+		Name:       "bench-fig2-grid",
+		Steps:      301,
+		BaseSeed:   42,
+		Replicates: 16,
+		Attacks:    []string{campaign.AttackDoS, campaign.AttackDelay},
+		Onsets:     []int{175, 182},
+	}
+}
+
+// CampaignJobs is the grid size of the campaign throughput scenarios.
+const CampaignJobs = 64
+
+func registerCampaigns(g *perf.Registry) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		g.MustRegister(perf.Scenario{
+			Name:  fmt.Sprintf("campaign_w%d", workers),
+			Group: GroupCampaign,
+			Doc: fmt.Sprintf(
+				"64-job Monte Carlo sweep over the Fig 2 grid, worker pool of %d.", workers),
+			Ops: CampaignJobs,
+			Setup: func() (func(r *perf.Rep) error, error) {
+				spec := campaignSpec()
+				jobs, err := spec.NumJobs()
+				if err != nil {
+					return nil, err
+				}
+				if jobs != CampaignJobs {
+					return nil, fmt.Errorf("grid size = %d, want %d", jobs, CampaignJobs)
+				}
+				return func(r *perf.Rep) error {
+					sum, err := campaign.Run(context.Background(), spec,
+						campaign.Options{Workers: workers, DiscardOutcomes: true})
+					if err != nil {
+						return err
+					}
+					agg := sum.Aggregate
+					if agg.Detected != CampaignJobs || agg.FalsePositives != 0 {
+						return fmt.Errorf("aggregate drifted: detected=%d fp=%d",
+							agg.Detected, agg.FalsePositives)
+					}
+					r.Observe(ObsDetected, float64(agg.Detected))
+					r.Observe(ObsRunsPerSec, sum.RunsPerSec)
+					return nil
+				}, nil
+			},
+		})
+	}
+}

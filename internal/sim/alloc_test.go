@@ -1,0 +1,47 @@
+package sim
+
+import "testing"
+
+// Zero-allocation guards for the //safesense:hotpath flight-recorder
+// functions: the hotpathalloc analyzer forbids the static allocation
+// patterns; these tests enforce the same contract dynamically. The
+// common no-anomaly timestep must not allocate at all (emit is allowed
+// to stay at zero only while inside its preallocated event buffer, and
+// endStep only on anomaly-free steps — both are the steady state).
+
+func assertZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	if avg := testing.AllocsPerRun(200, f); avg != 0 {
+		t.Errorf("%s: %v allocs/op, want 0", name, avg)
+	}
+}
+
+func TestFlightRecorderEmitZeroAlloc(t *testing.T) {
+	fr := newFlightRecorder()
+	assertZeroAllocs(t, "emit", func() {
+		fr.events = fr.events[:0] // stay inside the preallocated buffer
+		fr.emit(EventChallenge, 1e-13, "")
+	})
+}
+
+func TestFlightRecorderRecordZeroAlloc(t *testing.T) {
+	fr := newFlightRecorder()
+	st := StepState{K: 1, GapM: 30, UsedM: 30}
+	assertZeroAllocs(t, "record", func() { fr.record(st) })
+}
+
+func TestFlightRecorderFlagAnomalyZeroAlloc(t *testing.T) {
+	fr := newFlightRecorder()
+	assertZeroAllocs(t, "flagAnomaly", func() {
+		fr.npending = 0 // re-arm the fixed pending buffer
+		fr.flagAnomaly(AnomalyCollision, "gap 0")
+	})
+}
+
+func TestFlightRecorderEndStepZeroAlloc(t *testing.T) {
+	fr := newFlightRecorder()
+	st := StepState{K: 2, GapM: 28}
+	// The steady state: no pending anomalies, so endStep is one ring
+	// store.
+	assertZeroAllocs(t, "endStep", func() { fr.endStep(st) })
+}
