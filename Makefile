@@ -5,7 +5,7 @@ GO ?= go
 # without letting coverage rot.
 COVER_MIN ?= 78
 
-.PHONY: all build test race race-hot vet fmt-check lint fuzz-smoke bench bench-smoke bench-check bench-capture perf-baseline cover check
+.PHONY: all build test race race-hot vet fmt-check lint fuzz-smoke dist-smoke bench bench-smoke bench-check bench-capture perf-baseline cover check
 
 all: check
 
@@ -36,7 +36,7 @@ lint: vet fmt-check
 # (worker pool, lock-free metrics, flight recorder, HTTP service) for a
 # fast signal; `make race` still covers the whole module.
 race-hot:
-	$(GO) test -race ./internal/sim ./internal/campaign ./internal/obs/... ./cmd/safesensed
+	$(GO) test -race ./internal/sim ./internal/campaign ./internal/dist ./internal/obs/... ./cmd/safesensed
 
 # fuzz-smoke runs each fuzz target briefly so the corpora and oracles
 # can't bit-rot; CI runs this on every push. Longer local sessions:
@@ -45,6 +45,15 @@ FUZZ_TIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=$(FUZZ_TIME) ./internal/trace
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeSpec -fuzztime=$(FUZZ_TIME) ./internal/campaign
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeLease -fuzztime=$(FUZZ_TIME) ./internal/dist
+
+# dist-smoke is the distributed-execution gate: an in-process
+# coordinator plus two pull workers shard a 64-job campaign over the
+# HTTP API and the merged aggregate must be byte-identical to the
+# single-node oracle. Runs under -race so the lease table's lock
+# discipline is exercised against concurrent workers.
+dist-smoke:
+	$(GO) test -race -run='^TestDistSmoke$$' -count=1 -v ./internal/dist
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -231,7 +231,11 @@ func TestCheckMeasuresWhenNoNewFile(t *testing.T) {
 	basePath := filepath.Join(dir, "baseline.json")
 	savePath := filepath.Join(dir, "BENCH_fresh.json")
 	captureTo(t, basePath)
-	args := append([]string{"check", "-baseline", basePath, "-save", savePath}, fastArgs...)
+	// The wide threshold keeps this test about the measure-and-save
+	// plumbing: with 4-rep captures taken back to back on a possibly
+	// loaded box, real scheduler noise can clear the default gate.
+	args := append([]string{"check", "-baseline", basePath, "-save", savePath,
+		"-threshold", "100000"}, fastArgs...)
 	code, out, errOut := runCLI(t, args...)
 	if code != 0 {
 		t.Fatalf("exit %d, stderr %s\n%s", code, errOut, out)

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"safesense/internal/campaign"
+	"safesense/internal/dist"
+)
+
+// TestDistEndpointsThroughServer runs a distributed campaign against the
+// full safesensed handler stack — coordinator routes mounted behind the
+// observability middleware — with a real worker joined to the server's
+// own URL, and checks the merged summary against the single-node run.
+func TestDistEndpointsThroughServer(t *testing.T) {
+	coord := dist.NewCoordinator(dist.Config{LeaseJobs: 3, LeaseTTL: time.Minute})
+	_, ts := newTestServer(t, Config{Dist: coord})
+
+	spec := campaign.Spec{
+		Name:       "dist-through-server",
+		Steps:      50,
+		Attacks:    []string{campaign.AttackDoS, campaign.AttackNone},
+		Onsets:     []int{15, 30},
+		Replicates: 3,
+	}
+
+	sub := decodeJSON[dist.SubmitResponse](t,
+		postJSON(t, ts.URL+"/v1/dist/campaigns", dist.SubmitRequest{Spec: spec}),
+		http.StatusAccepted)
+	if sub.Jobs == 0 || sub.Leases < 2 {
+		t.Fatalf("submission too small to exercise sharding: %+v", sub)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	w, err := dist.NewWorker(dist.WorkerConfig{
+		Coordinator:  ts.URL,
+		ID:           "through-server",
+		Jobs:         2,
+		PollInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewWorker: %v", err)
+	}
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		_ = w.Run(ctx)
+	}()
+
+	var st dist.Status
+	for {
+		res, err := http.Get(ts.URL + "/v1/dist/campaigns/" + sub.ID)
+		if err != nil {
+			t.Fatalf("status: %v", err)
+		}
+		err = json.NewDecoder(res.Body).Decode(&st)
+		res.Body.Close()
+		if err != nil {
+			t.Fatalf("decode status: %v", err)
+		}
+		if st.Status == dist.StatusDone {
+			break
+		}
+		if ctx.Err() != nil {
+			t.Fatalf("campaign did not finish: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	<-workerDone
+
+	if st.Summary == nil {
+		t.Fatal("done campaign has no summary")
+	}
+	got, err := json.Marshal(st.Summary.Aggregate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := campaign.Run(context.Background(), spec, campaign.Options{Workers: 4})
+	if err != nil {
+		t.Fatalf("oracle Run: %v", err)
+	}
+	want, err := json.Marshal(oracle.Aggregate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("distributed aggregate diverges from oracle\n got: %s\nwant: %s", got, want)
+	}
+
+	// The middleware fronts the dist routes: the status response carries
+	// an echoed request ID.
+	res, err := http.Get(ts.URL + "/v1/dist/campaigns/" + sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.Header.Get("X-Request-ID") == "" {
+		t.Fatal("dist route bypasses the observability middleware: no X-Request-ID echoed")
+	}
+}

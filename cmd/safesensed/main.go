@@ -1,6 +1,6 @@
 // Command safesensed serves the safesense simulator over HTTP/JSON: single
-// scenario runs, asynchronous Monte Carlo campaign sweeps, metrics,
-// traces, and health.
+// scenario runs, asynchronous Monte Carlo campaign sweeps, distributed
+// campaign coordination, metrics, traces, and health.
 //
 // Endpoints:
 //
@@ -15,15 +15,37 @@
 //	GET  /v1/campaigns/{id}/events  campaign audit log (lifecycle + per-job
 //	                          collisions and detector confusion)
 //	DELETE /v1/campaigns/{id} cancel a running sweep
+//	POST /v1/dist/campaigns   submit a sweep for distributed execution:
+//	                          the grid is split into leases that workers
+//	                          pull, run, and complete with partial
+//	                          aggregates (byte-identical to a local run)
+//	GET  /v1/dist/campaigns/{id}  lease table, per-worker progress,
+//	                          forwarded flight events, summary when done
+//	POST /v1/dist/lease       worker pull: acquire the next lease
+//	POST /v1/dist/lease/renew     extend a held lease
+//	POST /v1/dist/lease/complete  deliver a shard's partial aggregate
 //
 // Every request gets a trace: a sane inbound X-Request-ID is honored as
 // the trace ID (one is minted otherwise), echoed on the response, stamped
 // on every log record and error payload, and resolvable at /debug/traces.
+// Distributed campaigns reuse the submitting request's trace ID across
+// nodes, so one ID resolves the whole fan-out on coordinator and workers.
 //
 // Usage:
 //
 //	safesensed [-addr :8077] [-workers N] [-max-campaigns N] [-max-jobs N]
 //	           [-max-body-bytes N] [-log-format text|json] [-pprof-addr ADDR]
+//	           [-lease-jobs N] [-lease-ttl D] [-dist-checkpoint FILE]
+//	           [-join URL] [-worker-id ID] [-poll-interval D]
+//
+// With -join, the process additionally runs a distributed-campaign
+// worker: it pulls leases from the coordinator at URL, executes them on
+// the local engine, and pushes back partial aggregates, while still
+// serving its own /metrics and /debug/traces for observability. With
+// -dist-checkpoint, the coordinator logs submissions and completed
+// leases to FILE (JSONL, append-only) and replays it at startup, so a
+// restart resumes distributed campaigns without recomputing finished
+// shards.
 //
 // The service is stdlib-only, keeps campaigns in a bounded in-memory
 // store, logs structured records via log/slog, and shuts down gracefully
@@ -43,21 +65,52 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
+
+	"safesense/internal/dist"
 )
 
+// options carries the parsed command line into run.
+type options struct {
+	addr         string
+	pprofAddr    string
+	logFormat    string
+	workers      int
+	maxCampaigns int
+	maxJobs      int
+	maxBodyBytes int64
+
+	// Coordinator side.
+	leaseJobs  int
+	leaseTTL   time.Duration
+	checkpoint string
+
+	// Worker side.
+	join         string
+	workerID     string
+	pollInterval time.Duration
+}
+
 func main() {
-	addr := flag.String("addr", ":8077", "listen address")
-	workers := flag.Int("workers", 0, "worker pool size per campaign (0 = GOMAXPROCS)")
-	maxCampaigns := flag.Int("max-campaigns", 64, "bounded campaign store size")
-	maxJobs := flag.Int("max-jobs", 100000, "reject campaigns that expand beyond this many runs")
-	maxBodyBytes := flag.Int64("max-body-bytes", 1<<20, "reject request bodies larger than this (413)")
-	logFormat := flag.String("log-format", "text", "log output format: text or json")
-	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof and /debug/vars on this address (empty = disabled; keep it private)")
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8077", "listen address")
+	flag.IntVar(&o.workers, "workers", 0, "worker pool size per campaign (0 = GOMAXPROCS)")
+	flag.IntVar(&o.maxCampaigns, "max-campaigns", 64, "bounded campaign store size")
+	flag.IntVar(&o.maxJobs, "max-jobs", 100000, "reject campaigns that expand beyond this many runs")
+	flag.Int64Var(&o.maxBodyBytes, "max-body-bytes", 1<<20, "reject request bodies larger than this (413)")
+	flag.StringVar(&o.logFormat, "log-format", "text", "log output format: text or json")
+	flag.StringVar(&o.pprofAddr, "pprof-addr", "", "serve net/http/pprof and /debug/vars on this address (empty = disabled; keep it private)")
+	flag.IntVar(&o.leaseJobs, "lease-jobs", 0, "distributed campaigns: jobs per lease (0 = coordinator default)")
+	flag.DurationVar(&o.leaseTTL, "lease-ttl", 0, "distributed campaigns: lease lifetime before reassignment (0 = coordinator default)")
+	flag.StringVar(&o.checkpoint, "dist-checkpoint", "", "distributed campaigns: JSONL checkpoint file replayed at startup and appended while running")
+	flag.StringVar(&o.join, "join", "", "also run a distributed-campaign worker pulling leases from this coordinator URL")
+	flag.StringVar(&o.workerID, "worker-id", "", "worker identifier reported to the coordinator (default <hostname>-<pid>)")
+	flag.DurationVar(&o.pollInterval, "poll-interval", 0, "worker idle wait between lease pulls (0 = worker default)")
 	flag.Parse()
 
-	if err := run(*addr, *pprofAddr, *logFormat, *workers, *maxCampaigns, *maxJobs, *maxBodyBytes); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "safesensed:", err)
 		os.Exit(1)
 	}
@@ -88,29 +141,69 @@ func pprofMux() *http.ServeMux {
 	return mux
 }
 
-func run(addr, pprofAddr, logFormat string, workers, maxCampaigns, maxJobs int, maxBodyBytes int64) error {
-	if maxCampaigns < 1 {
-		return fmt.Errorf("-max-campaigns must be >= 1, got %d", maxCampaigns)
+// newCoordinator builds the dist coordinator for this process, replaying
+// and then appending the checkpoint file when one is configured. The
+// returned closer flushes the checkpoint handle at shutdown.
+func newCoordinator(o options, logger *slog.Logger) (*dist.Coordinator, func(), error) {
+	coord := dist.NewCoordinator(dist.Config{
+		LeaseJobs: o.leaseJobs,
+		LeaseTTL:  o.leaseTTL,
+		Log:       logger.With("subsys", "dist"),
+	})
+	if o.checkpoint == "" {
+		return coord, func() {}, nil
 	}
-	if maxJobs < 1 {
-		return fmt.Errorf("-max-jobs must be >= 1, got %d", maxJobs)
+	f, err := os.Open(o.checkpoint)
+	switch {
+	case err == nil:
+		restoreErr := coord.Restore(f)
+		f.Close()
+		if restoreErr != nil {
+			return nil, nil, fmt.Errorf("replaying -dist-checkpoint %s: %w", o.checkpoint, restoreErr)
+		}
+		logger.Info("dist checkpoint replayed", "file", o.checkpoint)
+	case errors.Is(err, os.ErrNotExist):
+		// First run: the append below creates it.
+	default:
+		return nil, nil, err
 	}
-	if maxBodyBytes < 1 {
-		return fmt.Errorf("-max-body-bytes must be >= 1, got %d", maxBodyBytes)
+	w, err := os.OpenFile(o.checkpoint, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
 	}
-	logger, err := newLogger(logFormat)
+	coord.AttachCheckpoint(w)
+	return coord, func() { w.Close() }, nil
+}
+
+func run(o options) error {
+	if o.maxCampaigns < 1 {
+		return fmt.Errorf("-max-campaigns must be >= 1, got %d", o.maxCampaigns)
+	}
+	if o.maxJobs < 1 {
+		return fmt.Errorf("-max-jobs must be >= 1, got %d", o.maxJobs)
+	}
+	if o.maxBodyBytes < 1 {
+		return fmt.Errorf("-max-body-bytes must be >= 1, got %d", o.maxBodyBytes)
+	}
+	logger, err := newLogger(o.logFormat)
 	if err != nil {
 		return err
 	}
+	coord, closeCheckpoint, err := newCoordinator(o, logger)
+	if err != nil {
+		return err
+	}
+	defer closeCheckpoint()
 	srv := NewServer(Config{
-		Workers:      workers,
-		MaxCampaigns: maxCampaigns,
-		MaxJobs:      maxJobs,
-		MaxBodyBytes: maxBodyBytes,
+		Workers:      o.workers,
+		MaxCampaigns: o.maxCampaigns,
+		MaxJobs:      o.maxJobs,
+		MaxBodyBytes: o.maxBodyBytes,
 		Log:          logger,
+		Dist:         coord,
 	})
 	hs := &http.Server{
-		Addr:              addr,
+		Addr:              o.addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -118,14 +211,33 @@ func run(addr, pprofAddr, logFormat string, workers, maxCampaigns, maxJobs int, 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if pprofAddr != "" {
+	var workerWG sync.WaitGroup
+	if o.join != "" {
+		w, err := dist.NewWorker(dist.WorkerConfig{
+			Coordinator:  o.join,
+			ID:           o.workerID,
+			Jobs:         o.workers,
+			PollInterval: o.pollInterval,
+			Log:          logger.With("subsys", "dist"),
+		})
+		if err != nil {
+			return err
+		}
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			_ = w.Run(ctx)
+		}()
+	}
+
+	if o.pprofAddr != "" {
 		ps := &http.Server{
-			Addr:              pprofAddr,
+			Addr:              o.pprofAddr,
 			Handler:           pprofMux(),
 			ReadHeaderTimeout: 10 * time.Second,
 		}
 		go func() {
-			logger.Info("pprof listening", "addr", pprofAddr)
+			logger.Info("pprof listening", "addr", o.pprofAddr)
 			if err := ps.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				logger.Error("pprof server", "error", err.Error())
 			}
@@ -135,12 +247,14 @@ func run(addr, pprofAddr, logFormat string, workers, maxCampaigns, maxJobs int, 
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Info("listening", "addr", addr)
+		logger.Info("listening", "addr", o.addr)
 		errc <- hs.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
+		stop()
+		workerWG.Wait()
 		return err
 	case <-ctx.Done():
 	}
@@ -151,5 +265,6 @@ func run(addr, pprofAddr, logFormat string, workers, maxCampaigns, maxJobs int, 
 		return err
 	}
 	srv.Drain()
+	workerWG.Wait()
 	return nil
 }

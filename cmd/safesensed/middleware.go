@@ -41,6 +41,10 @@ func routePattern(r *http.Request) string {
 	switch {
 	case p == "/healthz" || p == "/metrics" || p == "/v1/run" || p == "/v1/campaigns" || p == "/debug/traces":
 		return p
+	case p == "/v1/dist/campaigns" || p == "/v1/dist/lease" || p == "/v1/dist/lease/renew" || p == "/v1/dist/lease/complete":
+		return p
+	case strings.HasPrefix(p, "/v1/dist/campaigns/"):
+		return "/v1/dist/campaigns/{id}"
 	case strings.HasPrefix(p, "/v1/campaigns/") && strings.HasSuffix(p, "/events"):
 		return "/v1/campaigns/{id}/events"
 	case strings.HasPrefix(p, "/v1/campaigns/"):
@@ -61,10 +65,16 @@ func statusLabel(status int) string {
 		return "200"
 	case http.StatusAccepted:
 		return "202"
+	case http.StatusNoContent:
+		return "204"
 	case http.StatusBadRequest:
 		return "400"
 	case http.StatusNotFound:
 		return "404"
+	case http.StatusConflict:
+		return "409"
+	case http.StatusGone:
+		return "410"
 	case http.StatusRequestEntityTooLarge:
 		return "413"
 	case http.StatusInternalServerError:

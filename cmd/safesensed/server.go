@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"safesense/internal/campaign"
+	"safesense/internal/dist"
 	"safesense/internal/obs"
 	obstrace "safesense/internal/obs/trace"
 	"safesense/internal/report"
@@ -43,6 +44,10 @@ type Config struct {
 	// Traces is the span store behind GET /debug/traces and the
 	// per-request trace roots (nil means trace.Default()).
 	Traces *obstrace.Store
+	// Dist is the distributed-campaign coordinator mounted under
+	// /v1/dist/ (nil means one with default lease sizing, sharing this
+	// config's Log, Traces, and MaxJobs).
+	Dist *dist.Coordinator
 }
 
 func (c Config) withDefaults() Config {
@@ -63,6 +68,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Traces == nil {
 		c.Traces = obstrace.Default()
+	}
+	if c.Dist == nil {
+		c.Dist = dist.NewCoordinator(dist.Config{Log: c.Log, Traces: c.Traces})
 	}
 	return c
 }
@@ -181,6 +189,9 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancel)
+	// Distributed campaigns: coordinator endpoints under /v1/dist/,
+	// behind the same observability middleware as every other route.
+	s.cfg.Dist.Register(s.mux)
 	s.handler = s.withObservability(s.mux)
 	return s
 }

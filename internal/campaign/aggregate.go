@@ -1,8 +1,6 @@
 package campaign
 
 import (
-	"math"
-
 	"safesense/internal/stats"
 )
 
@@ -70,52 +68,12 @@ type LatencyStats struct {
 const latencyHistogramBins = 16
 
 // AggregateOutcomes folds the per-job records into campaign statistics.
+// It routes through the mergeable Partial form, so the single-node fold
+// and a distributed merge of lease partials share every line of float
+// arithmetic — which is what makes the single-node path usable as the
+// differential oracle for the distributed one.
 func AggregateOutcomes(outcomes []Outcome) Aggregate {
-	agg := Aggregate{Jobs: len(outcomes), WorstMinGapM: math.Inf(1)}
-	if len(outcomes) == 0 {
-		agg.WorstMinGapM = 0
-		return agg
-	}
-	var latencies []float64
-	var rmseD, rmseV []float64
-	for _, o := range outcomes {
-		attacked := o.Point.Attack != AttackNone && o.Point.Attack != ""
-		if attacked {
-			agg.Attacked++
-			if o.Point.Defended {
-				if o.DetectedAt >= 0 {
-					agg.Detected++
-					latencies = append(latencies, float64(o.DetectionLatency))
-				} else {
-					agg.Missed++
-				}
-			}
-		}
-		agg.FalsePositives += o.FalsePositives
-		agg.FalseNegatives += o.FalseNegatives
-		if o.CollisionAt >= 0 {
-			agg.Collisions++
-		}
-		if o.MinGapM < agg.WorstMinGapM {
-			agg.WorstMinGapM = o.MinGapM
-		}
-		if o.EstimateSteps > 0 {
-			agg.EstimatedRuns++
-			rmseD = append(rmseD, o.DistRMSEm)
-			rmseV = append(rmseV, o.VelRMSEmps)
-			if o.DistMaxErrM > agg.WorstDistErrM {
-				agg.WorstDistErrM = o.DistMaxErrM
-			}
-			if o.VelMaxErrMps > agg.WorstVelErrMps {
-				agg.WorstVelErrMps = o.VelMaxErrMps
-			}
-		}
-	}
-	agg.CollisionRate = float64(agg.Collisions) / float64(agg.Jobs)
-	agg.MeanDistRMSEm = stats.Mean(rmseD)
-	agg.MeanVelRMSEmps = stats.Mean(rmseV)
-	agg.Latency = latencyStats(latencies)
-	return agg
+	return PartialOfOutcomes(outcomes).Finalize()
 }
 
 func latencyStats(lat []float64) LatencyStats {

@@ -219,15 +219,10 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Summary, error) {
 	defer metricActiveCampaigns.With().Add(-1)
 
 	start := wallClock()
-	outcomes := make([]Outcome, len(jobs))
 
-	feed := make(chan Job)
-	errc := make(chan error, workers)
-	var wg sync.WaitGroup
 	var progressMu sync.Mutex
 	done := 0
 	report := func() {
-		metricJobsDone.With().Inc()
 		if opt.OnProgress == nil && opt.OnStats == nil {
 			return
 		}
@@ -242,6 +237,83 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Summary, error) {
 		}
 	}
 
+	outcomes, err := runPool(ctx, jobs, workers, logger, func(o Outcome, jobTime time.Duration) {
+		slowest.insert(JobTiming{
+			Index: o.Index, Seed: o.Point.Seed,
+			Label: o.Label, Seconds: jobTime.Seconds(),
+		})
+		report()
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	elapsed := wallClock().Sub(start)
+	sum := &Summary{
+		Name:           spec.Name,
+		Spec:           spec,
+		Workers:        workers,
+		Aggregate:      AggregateOutcomes(outcomes),
+		SlowestJobs:    slowest.table(),
+		ElapsedSeconds: elapsed.Seconds(),
+	}
+	if elapsed > 0 {
+		sum.RunsPerSec = float64(len(jobs)) / elapsed.Seconds()
+	}
+	if !opt.DiscardOutcomes {
+		sum.Outcomes = outcomes
+	}
+	return sum, nil
+}
+
+// RunJobs executes an explicit job list — e.g. one distributed lease's
+// contiguous shard of a larger grid — on a bounded worker pool,
+// returning the outcomes in job-list order. The jobs keep their global
+// grid indices (Outcome.Index is Job.Index, not the list position), so
+// a shard's outcomes slot directly into the full-grid statistics.
+// Options are honored for Workers, Log, and OnProgress; summary-level
+// options (DiscardOutcomes, OnStats, SlowestJobs) do not apply.
+func RunJobs(ctx context.Context, jobs []Job, opt Options) ([]Outcome, error) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) && len(jobs) > 0 {
+		workers = len(jobs)
+	}
+	logger := opt.Log
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	var onDone func(Outcome, time.Duration)
+	if opt.OnProgress != nil {
+		var mu sync.Mutex
+		done := 0
+		onDone = func(Outcome, time.Duration) {
+			mu.Lock()
+			defer mu.Unlock()
+			done++
+			opt.OnProgress(done, len(jobs))
+		}
+	}
+	return runPool(ctx, jobs, workers, logger, onDone)
+}
+
+// runPool is the one worker-pool implementation behind both Run (a full
+// expanded grid) and RunJobs (an arbitrary job sublist). Outcomes are
+// written by list position, so the result order always matches the input
+// order; a failing job cancels the pool and surfaces the first error.
+// onDone, when non-nil, is called concurrently after every successful job.
+func runPool(ctx context.Context, jobs []Job, workers int, logger *slog.Logger, onDone func(Outcome, time.Duration)) ([]Outcome, error) {
+	type feedItem struct {
+		pos int
+		job Job
+	}
+	outcomes := make([]Outcome, len(jobs))
+	feed := make(chan feedItem)
+	errc := make(chan error, workers)
+	var wg sync.WaitGroup
+
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -252,11 +324,12 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Summary, error) {
 			for {
 				_, qspan := obstrace.StartSpan(ctx, "campaign.queue_wait")
 				idle := wallClock()
-				j, ok := <-feed
+				it, ok := <-feed
 				if !ok {
 					qspan.End()
 					return
 				}
+				j := it.job
 				qspan.SetAttrInt("job", int64(j.Index))
 				qspan.End()
 				metricQueueWaitSeconds.With().ObserveDuration(wallClock().Sub(idle))
@@ -272,20 +345,19 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Summary, error) {
 					res, err = sim.RunContext(jobCtx, s)
 					if err == nil {
 						_, aspan := obstrace.StartSpan(jobCtx, "campaign.aggregate")
-						outcomes[j.Index] = outcomeOf(j, res)
+						outcomes[it.pos] = outcomeOf(j, res)
 						aspan.End()
 						jspan.End()
 						jobTime := wallClock().Sub(busy)
 						metricJobSeconds.With().ObserveDuration(jobTime)
 						metricWorkerBusySeconds.With().Add(jobTime.Seconds())
-						slowest.insert(JobTiming{
-							Index: j.Index, Seed: j.Point.Seed,
-							Label: j.Point.Label(), Seconds: jobTime.Seconds(),
-						})
+						metricJobsDone.With().Inc()
 						logger.Debug("campaign job done",
 							"job", j.Index, "seed", j.Point.Seed,
 							"duration_ms", float64(jobTime.Nanoseconds())/1e6)
-						report()
+						if onDone != nil {
+							onDone(outcomes[it.pos], jobTime)
+						}
 						continue
 					}
 				}
@@ -306,9 +378,9 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Summary, error) {
 	}
 
 feedLoop:
-	for _, j := range jobs {
+	for pos, j := range jobs {
 		select {
-		case feed <- j:
+		case feed <- feedItem{pos: pos, job: j}:
 		case <-runCtx.Done():
 			break feedLoop
 		}
@@ -324,21 +396,5 @@ feedLoop:
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-
-	elapsed := wallClock().Sub(start)
-	sum := &Summary{
-		Name:           spec.Name,
-		Spec:           spec,
-		Workers:        workers,
-		Aggregate:      AggregateOutcomes(outcomes),
-		SlowestJobs:    slowest.table(),
-		ElapsedSeconds: elapsed.Seconds(),
-	}
-	if elapsed > 0 {
-		sum.RunsPerSec = float64(len(jobs)) / elapsed.Seconds()
-	}
-	if !opt.DiscardOutcomes {
-		sum.Outcomes = outcomes
-	}
-	return sum, nil
+	return outcomes, nil
 }

@@ -1,0 +1,528 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"safesense/internal/campaign"
+	obstrace "safesense/internal/obs/trace"
+)
+
+// wallClock is the package's injected time source (the determinism
+// analyzer's approved seam). The coordinator reads time only through
+// Config.Clock — and only to decide lease expiry and report elapsed
+// wall time, never to order lease grants.
+var wallClock = time.Now
+
+// Config tunes the coordinator.
+type Config struct {
+	// LeaseJobs is the default shard size in jobs (zero means 256).
+	LeaseJobs int
+	// LeaseTTL is how long a granted lease lives without renewal (zero
+	// means 60s).
+	LeaseTTL time.Duration
+	// MaxJobs rejects specs that expand beyond this many runs (zero
+	// means 10 million — distributed sweeps are the big-grid path).
+	MaxJobs int
+	// MaxCampaigns bounds the in-memory distributed-campaign store
+	// (zero means 16). Submissions evict the oldest finished campaign
+	// when full and are rejected when every stored campaign still runs.
+	MaxCampaigns int
+	// Clock is the injected time source (nil means the wall clock).
+	Clock func() time.Time
+	// Log receives lease-lifecycle records (nil discards).
+	Log *slog.Logger
+	// Traces is the span store campaign trace roots are minted from
+	// (nil means trace.Default()).
+	Traces *obstrace.Store
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeaseJobs == 0 {
+		c.LeaseJobs = 256
+	}
+	if c.LeaseTTL == 0 {
+		c.LeaseTTL = 60 * time.Second
+	}
+	if c.MaxJobs == 0 {
+		c.MaxJobs = 10_000_000
+	}
+	if c.MaxCampaigns == 0 {
+		c.MaxCampaigns = 16
+	}
+	if c.Clock == nil {
+		c.Clock = wallClock
+	}
+	if c.Log == nil {
+		c.Log = slog.New(discardHandler{})
+	}
+	if c.Traces == nil {
+		c.Traces = obstrace.Default()
+	}
+	return c
+}
+
+// discardHandler is a no-op slog.Handler (slog.DiscardHandler arrives
+// in go1.24; this keeps the floor at the module's current toolchain).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// Campaign lifecycle states.
+const (
+	StatusRunning = "running"
+	StatusDone    = "done"
+)
+
+// shard is one contiguous job-index range of a campaign's grid and the
+// unit of leasing.
+type shard struct {
+	start, end int // [start, end)
+
+	completed bool
+	partial   campaign.Partial
+
+	// holder state; meaningful only while !completed.
+	worker  string
+	leaseID string
+	expires time.Time
+	grants  int // times granted (re-grants after expiry increment this)
+}
+
+// workerProgress tracks one worker's contribution to a campaign.
+type workerProgress struct {
+	jobsDone   int
+	leasesDone int
+	lastSeen   time.Time
+}
+
+// dcampaign is one stored distributed campaign.
+type dcampaign struct {
+	id        string
+	spec      campaign.Spec
+	traceID   string
+	span      *obstrace.Span // root span, ended when the campaign closes
+	jobs      int
+	leaseJobs int
+	shards    []*shard
+
+	doneShards int
+	doneJobs   int
+	merged     campaign.Partial
+	workers    map[string]*workerProgress
+	events     []Event
+
+	createdAt time.Time
+	status    string
+	summary   *campaign.Summary
+}
+
+// maxCampaignEvents bounds a campaign's forwarded-event log.
+const maxCampaignEvents = 256
+
+// leaseRef resolves a lease token to its shard, even after expiry —
+// late completions carry deterministic data and stay acceptable while
+// the shard is open.
+type leaseRef struct {
+	campaign *dcampaign
+	shard    int
+}
+
+// Coordinator owns the distributed-campaign store and lease table. All
+// methods are safe for concurrent use.
+type Coordinator struct {
+	cfg Config
+
+	mu        sync.Mutex
+	campaigns map[string]*dcampaign
+	order     []string // submission order, for lease priority and eviction
+	leases    map[string]*leaseRef
+	nextID    int
+	nextLease int
+
+	checkpoint io.Writer
+}
+
+// NewCoordinator builds a coordinator.
+func NewCoordinator(cfg Config) *Coordinator {
+	return &Coordinator{
+		cfg:       cfg.withDefaults(),
+		campaigns: make(map[string]*dcampaign),
+		leases:    make(map[string]*leaseRef),
+	}
+}
+
+// AttachCheckpoint directs the JSONL checkpoint log to w (typically an
+// O_APPEND file). Call after Restore so replayed records are not
+// re-written. Passing nil disables checkpointing.
+func (c *Coordinator) AttachCheckpoint(w io.Writer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.checkpoint = w
+}
+
+// Submit registers a campaign for distributed execution, splitting its
+// grid into ceil(jobs/leaseJobs) contiguous shards. traceID labels the
+// campaign's trace root ("" mints a fresh ID).
+func (c *Coordinator) Submit(req SubmitRequest, traceID string) (SubmitResponse, error) {
+	jobs, err := req.Spec.NumJobs()
+	if err != nil {
+		return SubmitResponse{}, err
+	}
+	if jobs > c.cfg.MaxJobs {
+		return SubmitResponse{}, fmt.Errorf("dist: campaign expands to %d jobs, coordinator cap is %d", jobs, c.cfg.MaxJobs)
+	}
+	leaseJobs := req.LeaseJobs
+	if leaseJobs <= 0 {
+		leaseJobs = c.cfg.LeaseJobs
+	}
+	if leaseJobs > MaxLeaseJobs {
+		leaseJobs = MaxLeaseJobs
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.evictLocked() {
+		return SubmitResponse{}, fmt.Errorf("dist: campaign store full (%d running)", c.cfg.MaxCampaigns)
+	}
+	c.nextID++
+	_, span := c.cfg.Traces.Root(context.Background(), "dist.campaign", traceID)
+	d := &dcampaign{
+		id:        fmt.Sprintf("d%06d", c.nextID),
+		spec:      req.Spec,
+		traceID:   span.TraceID(),
+		span:      span,
+		jobs:      jobs,
+		leaseJobs: leaseJobs,
+		shards:    makeShards(jobs, leaseJobs),
+		workers:   make(map[string]*workerProgress),
+		createdAt: c.cfg.Clock(),
+		status:    StatusRunning,
+	}
+	if span.Sampled() {
+		span.SetAttr("campaign_id", d.id)
+		span.SetAttrInt("jobs", int64(jobs))
+		span.SetAttrInt("leases", int64(len(d.shards)))
+	}
+	c.campaigns[d.id] = d
+	c.order = append(c.order, d.id)
+	c.checkpointLocked(checkpointRecord{Kind: recordCampaign, Campaign: &CampaignRecord{
+		ID: d.id, Spec: d.spec, Jobs: d.jobs, LeaseJobs: d.leaseJobs, TraceID: d.traceID,
+	}})
+	metricCampaignsActive.With().Add(1)
+	c.cfg.Log.Info("dist campaign submitted",
+		"id", d.id, "jobs", jobs, "leases", len(d.shards), "lease_jobs", leaseJobs)
+	if jobs == 0 {
+		c.closeCampaignLocked(d)
+	}
+	return SubmitResponse{ID: d.id, Jobs: jobs, Leases: len(d.shards), URL: "/v1/dist/campaigns/" + d.id}, nil
+}
+
+// makeShards partitions [0, jobs) into contiguous leaseJobs-sized ranges.
+func makeShards(jobs, leaseJobs int) []*shard {
+	var out []*shard
+	for start := 0; start < jobs; start += leaseJobs {
+		end := start + leaseJobs
+		if end > jobs {
+			end = jobs
+		}
+		out = append(out, &shard{start: start, end: end})
+	}
+	return out
+}
+
+// evictLocked makes room for one more campaign. Callers hold c.mu.
+func (c *Coordinator) evictLocked() bool {
+	if len(c.campaigns) < c.cfg.MaxCampaigns {
+		return true
+	}
+	for i, id := range c.order {
+		if d := c.campaigns[id]; d != nil && d.status != StatusRunning {
+			c.dropLeasesLocked(d)
+			delete(c.campaigns, id)
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// dropLeasesLocked removes a campaign's tokens from the lease table.
+func (c *Coordinator) dropLeasesLocked(d *dcampaign) {
+	for id, ref := range c.leases {
+		if ref.campaign == d {
+			delete(c.leases, id)
+		}
+	}
+}
+
+// Acquire grants the next open lease to worker. Selection is
+// deterministic in the campaign/shard structure — oldest campaign
+// first, lowest shard index first — with the clock consulted only to
+// decide whether a held lease has expired. ok is false when no work is
+// available (all shards completed or held by live leases).
+func (c *Coordinator) Acquire(workerID string) (AcquireResponse, bool) {
+	now := c.cfg.Clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range c.order {
+		d := c.campaigns[id]
+		if d == nil || d.status != StatusRunning {
+			continue
+		}
+		for i, sh := range d.shards {
+			if sh.completed {
+				continue
+			}
+			if sh.worker != "" && now.Before(sh.expires) {
+				continue // held and live
+			}
+			if sh.worker != "" {
+				// Expired: reclaim before re-granting.
+				metricLeasesExpired.With().Inc()
+				c.cfg.Log.Warn("dist lease expired",
+					"campaign", d.id, "shard", i, "worker", sh.worker, "lease", sh.leaseID)
+			}
+			c.nextLease++
+			sh.worker = workerID
+			sh.leaseID = fmt.Sprintf("%s.%d.%d", d.id, i, c.nextLease)
+			sh.expires = now.Add(c.cfg.LeaseTTL)
+			sh.grants++
+			c.leases[sh.leaseID] = &leaseRef{campaign: d, shard: i}
+			c.touchWorkerLocked(d, workerID, now)
+			metricLeasesGranted.With().Inc()
+			c.cfg.Log.Info("dist lease granted",
+				"campaign", d.id, "shard", i, "worker", workerID,
+				"start", sh.start, "end", sh.end, "grant", sh.grants)
+			return AcquireResponse{
+				LeaseID:    sh.leaseID,
+				Campaign:   d.id,
+				Shard:      i,
+				Start:      sh.start,
+				End:        sh.end,
+				Spec:       d.spec,
+				TraceID:    d.traceID,
+				TTLSeconds: c.cfg.LeaseTTL.Seconds(),
+			}, true
+		}
+	}
+	return AcquireResponse{}, false
+}
+
+// Renew extends a lease the worker still holds.
+func (c *Coordinator) Renew(req RenewRequest) (RenewResponse, error) {
+	now := c.cfg.Clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ref := c.leases[req.LeaseID]
+	if ref == nil {
+		return RenewResponse{}, fmt.Errorf("dist: unknown lease %q", req.LeaseID)
+	}
+	sh := ref.campaign.shards[ref.shard]
+	if sh.completed {
+		return RenewResponse{}, fmt.Errorf("dist: lease %q already completed", req.LeaseID)
+	}
+	if sh.leaseID != req.LeaseID || sh.worker != req.WorkerID {
+		return RenewResponse{}, fmt.Errorf("dist: lease %q was reassigned", req.LeaseID)
+	}
+	sh.expires = now.Add(c.cfg.LeaseTTL)
+	c.touchWorkerLocked(ref.campaign, req.WorkerID, now)
+	metricLeasesRenewed.With().Inc()
+	return RenewResponse{TTLSeconds: c.cfg.LeaseTTL.Seconds()}, nil
+}
+
+// Complete records a finished shard. The partial must cover exactly the
+// lease's job range; completion is idempotent (a duplicate for a closed
+// shard is acknowledged and discarded) and holder-agnostic (a stale
+// holder's deterministic result is as good as the current holder's).
+func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
+	now := c.cfg.Clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ref := c.leases[req.LeaseID]
+	if ref == nil {
+		return CompleteResponse{}, fmt.Errorf("dist: unknown lease %q", req.LeaseID)
+	}
+	d := ref.campaign
+	sh := d.shards[ref.shard]
+	if sh.completed {
+		return CompleteResponse{Duplicate: true, CampaignDone: d.status == StatusDone}, nil
+	}
+	if got, want := req.Partial.Jobs, sh.end-sh.start; got != want {
+		return CompleteResponse{}, fmt.Errorf("dist: partial covers %d jobs, lease %q spans %d", got, req.LeaseID, want)
+	}
+	if err := req.Partial.SampleRange(sh.start, sh.end); err != nil {
+		return CompleteResponse{}, err
+	}
+
+	sh.completed = true
+	sh.partial = req.Partial
+	sh.worker = ""
+	d.doneShards++
+	d.doneJobs += req.Partial.Jobs
+	d.merged = d.merged.Merge(req.Partial)
+	wp := c.touchWorkerLocked(d, req.WorkerID, now)
+	wp.jobsDone += req.Partial.Jobs
+	wp.leasesDone++
+	for _, ev := range req.Events {
+		if len(d.events) >= maxCampaignEvents {
+			break
+		}
+		d.events = append(d.events, ev)
+	}
+	c.checkpointLocked(checkpointRecord{Kind: recordLease, Lease: &LeaseRecord{
+		Campaign: d.id, Shard: ref.shard, Start: sh.start, End: sh.end,
+		Worker: req.WorkerID, Partial: req.Partial,
+	}})
+	metricLeasesCompleted.With().Inc()
+	metricLeaseJobsDone.With().Add(float64(req.Partial.Jobs))
+	c.cfg.Log.Info("dist lease completed",
+		"campaign", d.id, "shard", ref.shard, "worker", req.WorkerID,
+		"jobs", req.Partial.Jobs, "done_shards", d.doneShards, "shards", len(d.shards))
+	done := d.doneShards == len(d.shards)
+	if done {
+		c.closeCampaignLocked(d)
+	}
+	return CompleteResponse{CampaignDone: done}, nil
+}
+
+// closeCampaignLocked finalizes a fully-completed campaign: the merged
+// partial becomes the summary aggregate. Callers hold c.mu.
+func (c *Coordinator) closeCampaignLocked(d *dcampaign) {
+	d.status = StatusDone
+	workers := 0
+	for _, wp := range d.workers {
+		if wp.leasesDone > 0 {
+			workers++
+		}
+	}
+	elapsed := c.cfg.Clock().Sub(d.createdAt)
+	sum := &campaign.Summary{
+		Name:           d.spec.Name,
+		Spec:           d.spec,
+		Workers:        workers,
+		Aggregate:      d.merged.Finalize(),
+		ElapsedSeconds: elapsed.Seconds(),
+	}
+	if elapsed > 0 {
+		sum.RunsPerSec = float64(d.jobs) / elapsed.Seconds()
+	}
+	d.summary = sum
+	if d.span != nil {
+		if d.span.Sampled() {
+			d.span.SetAttrInt("done_jobs", int64(d.doneJobs))
+		}
+		d.span.End()
+	}
+	metricCampaignsActive.With().Add(-1)
+	c.cfg.Log.Info("dist campaign done",
+		"id", d.id, "jobs", d.jobs, "workers", workers, "elapsed_seconds", elapsed.Seconds())
+}
+
+// touchWorkerLocked bumps a worker's last-seen time. Callers hold c.mu.
+func (c *Coordinator) touchWorkerLocked(d *dcampaign, workerID string, now time.Time) *workerProgress {
+	wp := d.workers[workerID]
+	if wp == nil {
+		wp = &workerProgress{}
+		d.workers[workerID] = wp
+	}
+	wp.lastSeen = now
+	return wp
+}
+
+// WorkerStatus is one worker's per-campaign progress row.
+type WorkerStatus struct {
+	ID         string    `json:"id"`
+	JobsDone   int       `json:"jobs_done"`
+	LeasesDone int       `json:"leases_done"`
+	LastSeen   time.Time `json:"last_seen"`
+}
+
+// LeaseStatus summarizes one shard of the lease table.
+type LeaseStatus struct {
+	Shard     int    `json:"shard"`
+	Start     int    `json:"start"`
+	End       int    `json:"end"`
+	Completed bool   `json:"completed"`
+	Worker    string `json:"worker,omitempty"`
+	Grants    int    `json:"grants"`
+}
+
+// Status is a distributed campaign's progress report.
+type Status struct {
+	ID             string            `json:"id"`
+	TraceID        string            `json:"trace_id,omitempty"`
+	Status         string            `json:"status"`
+	Jobs           int               `json:"jobs"`
+	DoneJobs       int               `json:"done_jobs"`
+	Leases         int               `json:"leases"`
+	DoneLeases     int               `json:"done_leases"`
+	ActiveLeases   int               `json:"active_leases"`
+	Workers        []WorkerStatus    `json:"workers,omitempty"`
+	LeaseTable     []LeaseStatus     `json:"lease_table,omitempty"`
+	Events         []Event           `json:"events,omitempty"`
+	ElapsedSeconds float64           `json:"elapsed_seconds"`
+	Summary        *campaign.Summary `json:"summary,omitempty"`
+}
+
+// CampaignStatus reports one campaign ("" ok=false when unknown).
+func (c *Coordinator) CampaignStatus(id string) (Status, bool) {
+	now := c.cfg.Clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := c.campaigns[id]
+	if d == nil {
+		return Status{}, false
+	}
+	st := Status{
+		ID:         d.id,
+		TraceID:    d.traceID,
+		Status:     d.status,
+		Jobs:       d.jobs,
+		DoneJobs:   d.doneJobs,
+		Leases:     len(d.shards),
+		DoneLeases: d.doneShards,
+		Events:     append([]Event(nil), d.events...),
+		Summary:    d.summary,
+	}
+	if d.summary != nil {
+		st.ElapsedSeconds = d.summary.ElapsedSeconds
+	} else {
+		st.ElapsedSeconds = now.Sub(d.createdAt).Seconds()
+	}
+	for i, sh := range d.shards {
+		row := LeaseStatus{Shard: i, Start: sh.start, End: sh.end, Completed: sh.completed, Grants: sh.grants}
+		if !sh.completed && sh.worker != "" && now.Before(sh.expires) {
+			row.Worker = sh.worker
+			st.ActiveLeases++
+		}
+		st.LeaseTable = append(st.LeaseTable, row)
+	}
+	var ids []string
+	for id := range d.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, wid := range ids {
+		wp := d.workers[wid]
+		st.Workers = append(st.Workers, WorkerStatus{
+			ID: wid, JobsDone: wp.jobsDone, LeasesDone: wp.leasesDone, LastSeen: wp.lastSeen,
+		})
+	}
+	return st, true
+}
+
+// Campaigns lists stored campaign IDs in submission order.
+func (c *Coordinator) Campaigns() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.order...)
+}

@@ -1,0 +1,288 @@
+// Package dist scales campaign execution horizontally: a coordinator
+// splits one campaign's job grid into leases — contiguous job-index
+// ranges — and hands them to workers that pull over the safesensed
+// HTTP/JSON API, run their shard with the ordinary campaign engine, and
+// push back a mergeable partial aggregate. Because every job's seed is
+// a pure function of (spec, index), any partition of the grid is
+// byte-stable: the merged campaign.Aggregate is identical to a
+// single-node run of the same spec, no matter how many workers
+// participated, which worker ran which shard, or how many times a shard
+// was re-leased after a worker died.
+//
+// The moving parts:
+//
+//   - Coordinator: owns the lease table. Shards are fixed at submission
+//     (ceil(jobs/leaseJobs) contiguous ranges); a lease grants one shard
+//     to one worker for a TTL. Expired leases are re-granted to the next
+//     worker that asks — lease selection is ordered purely by campaign
+//     age and shard index, never by wall time, so the injected clock
+//     (Config.Clock) is consulted only to decide expiry.
+//   - Worker: the pull loop behind `safesensed -join`. Acquire a lease,
+//     expand the spec (cached per campaign), run jobs [start, end) on
+//     the local pool via campaign.RunJobs, renew the lease while
+//     running, and complete with the campaign.Partial plus the shard's
+//     flight events (collisions, detector confusion).
+//   - Checkpoint: a JSONL log of campaign submissions and completed
+//     leases. Replaying it with Restore reconstructs the lease table, so
+//     a coordinator restart resumes a million-job sweep without
+//     recomputing finished shards.
+//
+// Completion is idempotent and holder-agnostic: results are
+// deterministic, so a late completion from a worker whose lease already
+// expired (and whose shard was re-leased) is accepted if the shard is
+// still open and ignored if it already closed — the data is the same
+// either way.
+//
+// Trace propagation: the campaign's trace ID (minted from the
+// submitting request) rides on every lease; workers root their lease
+// span under it and stamp it as X-Request-ID on coordinator calls, so
+// one trace ID resolves the full cross-node fan-out on either side's
+// /debug/traces.
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"safesense/internal/campaign"
+)
+
+// Wire-format bounds. Decoders enforce them so a hostile or buggy peer
+// cannot make the coordinator allocate absurd state.
+const (
+	// MaxWorkerIDLen bounds worker identifiers (they land in logs,
+	// lease tables, and status payloads — never in metric labels).
+	MaxWorkerIDLen = 64
+	// MaxLeaseJobs bounds the jobs-per-lease shard size.
+	MaxLeaseJobs = 1 << 16
+	// MaxCompleteEvents bounds the flight events one completion may
+	// forward; workers truncate, decoders reject beyond it.
+	MaxCompleteEvents = 64
+	// maxLeaseIDLen bounds lease tokens on the wire.
+	maxLeaseIDLen = 128
+)
+
+// SubmitRequest asks the coordinator to run a campaign distributed.
+type SubmitRequest struct {
+	Spec campaign.Spec `json:"spec"`
+	// LeaseJobs is the shard size in jobs (zero means the coordinator's
+	// configured default).
+	LeaseJobs int `json:"lease_jobs,omitempty"`
+}
+
+// SubmitResponse acknowledges a distributed submission.
+type SubmitResponse struct {
+	ID     string `json:"id"`
+	Jobs   int    `json:"jobs"`
+	Leases int    `json:"leases"`
+	URL    string `json:"url"`
+}
+
+// AcquireRequest is a worker's pull for its next lease.
+type AcquireRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// AcquireResponse grants one lease. The worker must run jobs
+// [Start, End) of the spec's expanded grid and complete within the TTL
+// (renewing as needed).
+type AcquireResponse struct {
+	LeaseID  string        `json:"lease_id"`
+	Campaign string        `json:"campaign"`
+	Shard    int           `json:"shard"`
+	Start    int           `json:"start"`
+	End      int           `json:"end"`
+	Spec     campaign.Spec `json:"spec"`
+	TraceID  string        `json:"trace_id,omitempty"`
+	// TTLSeconds is the lease lifetime; renew at a fraction of it.
+	TTLSeconds float64 `json:"ttl_seconds"`
+}
+
+// RenewRequest extends a held lease.
+type RenewRequest struct {
+	LeaseID  string `json:"lease_id"`
+	WorkerID string `json:"worker_id"`
+}
+
+// RenewResponse confirms the extension.
+type RenewResponse struct {
+	TTLSeconds float64 `json:"ttl_seconds"`
+}
+
+// CompleteRequest delivers a finished shard: the mergeable partial
+// aggregate plus the shard's notable flight events.
+type CompleteRequest struct {
+	LeaseID  string           `json:"lease_id"`
+	WorkerID string           `json:"worker_id"`
+	Partial  campaign.Partial `json:"partial"`
+	Events   []Event          `json:"events,omitempty"`
+}
+
+// CompleteResponse acknowledges a completion. Duplicate reports that
+// the shard had already closed (the payload was discarded — results are
+// deterministic, so nothing is lost).
+type CompleteResponse struct {
+	Duplicate bool `json:"duplicate,omitempty"`
+	// CampaignDone reports that this completion closed the campaign.
+	CampaignDone bool `json:"campaign_done,omitempty"`
+}
+
+// Event is one forwarded flight-recorder incident, attributed to the
+// job that produced it so the run is reproducible from the event alone.
+type Event struct {
+	Kind     string `json:"kind"`
+	JobIndex int    `json:"job_index"`
+	Seed     int64  `json:"seed,omitempty"`
+	K        int    `json:"k,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+// Forwarded event kinds.
+const (
+	EventCollision     = "collision"
+	EventFalsePositive = "false_positive"
+	EventFalseNegative = "false_negative"
+)
+
+// decodeStrict parses exactly one JSON object into v: unknown fields
+// and trailing data are errors (same contract as campaign.DecodeSpec).
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("dist: decoding message: %w", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return fmt.Errorf("dist: trailing data after message object")
+	}
+	return nil
+}
+
+// validWorkerID enforces the worker-identifier contract: non-empty,
+// bounded, printable ASCII without spaces, quotes, or backslashes (IDs
+// land verbatim in log records and JSON status payloads).
+func validWorkerID(id string) error {
+	if id == "" {
+		return fmt.Errorf("dist: worker_id must not be empty")
+	}
+	if len(id) > MaxWorkerIDLen {
+		return fmt.Errorf("dist: worker_id longer than %d bytes", MaxWorkerIDLen)
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '"' || c == '\\' {
+			return fmt.Errorf("dist: worker_id contains forbidden byte %q", c)
+		}
+	}
+	return nil
+}
+
+// validLeaseID bounds lease tokens (shape is coordinator-internal).
+func validLeaseID(id string) error {
+	if id == "" {
+		return fmt.Errorf("dist: lease_id must not be empty")
+	}
+	if len(id) > maxLeaseIDLen {
+		return fmt.Errorf("dist: lease_id longer than %d bytes", maxLeaseIDLen)
+	}
+	return nil
+}
+
+// DecodeSubmit parses and validates a distributed-campaign submission.
+func DecodeSubmit(data []byte) (SubmitRequest, error) {
+	var req SubmitRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return SubmitRequest{}, err
+	}
+	if req.LeaseJobs < 0 || req.LeaseJobs > MaxLeaseJobs {
+		return SubmitRequest{}, fmt.Errorf("dist: lease_jobs %d outside [0, %d]", req.LeaseJobs, MaxLeaseJobs)
+	}
+	if err := req.Spec.Validate(); err != nil {
+		return SubmitRequest{}, err
+	}
+	return req, nil
+}
+
+// DecodeAcquire parses and validates a lease-acquire pull.
+func DecodeAcquire(data []byte) (AcquireRequest, error) {
+	var req AcquireRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return AcquireRequest{}, err
+	}
+	if err := validWorkerID(req.WorkerID); err != nil {
+		return AcquireRequest{}, err
+	}
+	return req, nil
+}
+
+// DecodeRenew parses and validates a lease renewal.
+func DecodeRenew(data []byte) (RenewRequest, error) {
+	var req RenewRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return RenewRequest{}, err
+	}
+	if err := validLeaseID(req.LeaseID); err != nil {
+		return RenewRequest{}, err
+	}
+	if err := validWorkerID(req.WorkerID); err != nil {
+		return RenewRequest{}, err
+	}
+	return req, nil
+}
+
+// DecodeComplete parses and validates a lease completion: identifier
+// bounds, partial-aggregate internal consistency, shard-size and event
+// caps. Range checks against the actual lease are the coordinator's job
+// (the decoder has no lease table).
+func DecodeComplete(data []byte) (CompleteRequest, error) {
+	var req CompleteRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return CompleteRequest{}, err
+	}
+	if err := validLeaseID(req.LeaseID); err != nil {
+		return CompleteRequest{}, err
+	}
+	if err := validWorkerID(req.WorkerID); err != nil {
+		return CompleteRequest{}, err
+	}
+	if req.Partial.Jobs > MaxLeaseJobs {
+		return CompleteRequest{}, fmt.Errorf("dist: partial covers %d jobs, lease cap is %d", req.Partial.Jobs, MaxLeaseJobs)
+	}
+	if err := req.Partial.Validate(); err != nil {
+		return CompleteRequest{}, err
+	}
+	if len(req.Events) > MaxCompleteEvents {
+		return CompleteRequest{}, fmt.Errorf("dist: %d events exceed the %d-event cap", len(req.Events), MaxCompleteEvents)
+	}
+	return req, nil
+}
+
+// OutcomeEvents derives the forwardable flight events from a shard's
+// outcomes: collisions and challenge confusion, truncated at
+// MaxCompleteEvents so one pathological shard cannot flood the
+// coordinator.
+func OutcomeEvents(outcomes []campaign.Outcome) []Event {
+	var evs []Event
+	for _, o := range outcomes {
+		if len(evs) >= MaxCompleteEvents {
+			return evs
+		}
+		if o.CollisionAt >= 0 {
+			evs = append(evs, Event{Kind: EventCollision,
+				JobIndex: o.Index, Seed: o.Point.Seed, K: o.CollisionAt, Detail: o.Label})
+		}
+		if o.FalsePositives > 0 && len(evs) < MaxCompleteEvents {
+			evs = append(evs, Event{Kind: EventFalsePositive,
+				JobIndex: o.Index, Seed: o.Point.Seed,
+				Detail: fmt.Sprintf("%s: %d false positives", o.Label, o.FalsePositives)})
+		}
+		if o.FalseNegatives > 0 && len(evs) < MaxCompleteEvents {
+			evs = append(evs, Event{Kind: EventFalseNegative,
+				JobIndex: o.Index, Seed: o.Point.Seed,
+				Detail: fmt.Sprintf("%s: %d false negatives", o.Label, o.FalseNegatives)})
+		}
+	}
+	return evs
+}

@@ -31,6 +31,11 @@ var Determinism = &Analyzer{
 		"internal/radar",
 		"internal/campaign",
 		"internal/report",
+		// The distributed coordinator/worker layer must stay replayable
+		// too: lease ordering and checkpoint replay may consult the
+		// clock only through the injected seam, and status payloads must
+		// not leak map iteration order.
+		"internal/dist",
 	},
 	Run: runDeterminism,
 }
