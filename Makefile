@@ -5,7 +5,7 @@ GO ?= go
 # without letting coverage rot.
 COVER_MIN ?= 78
 
-.PHONY: all build test race race-hot vet fmt-check lint fuzz-smoke dist-smoke bench bench-smoke bench-check bench-capture perf-baseline cover check
+.PHONY: all build test race race-hot vet fmt-check lint fuzz-smoke dist-smoke stream-smoke bench bench-smoke bench-check bench-capture perf-baseline cover check
 
 all: check
 
@@ -46,6 +46,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=$(FUZZ_TIME) ./internal/trace
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeSpec -fuzztime=$(FUZZ_TIME) ./internal/campaign
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeLease -fuzztime=$(FUZZ_TIME) ./internal/dist
+	$(GO) test -run='^$$' -fuzz=FuzzSSEFrame -fuzztime=$(FUZZ_TIME) ./internal/obs/stream
 
 # dist-smoke is the distributed-execution gate: an in-process
 # coordinator plus two pull workers shard a 64-job campaign over the
@@ -54,6 +55,15 @@ fuzz-smoke:
 # discipline is exercised against concurrent workers.
 dist-smoke:
 	$(GO) test -race -run='^TestDistSmoke$$' -count=1 -v ./internal/dist
+
+# stream-smoke is the live-observability gate: a coordinator plus two
+# mid-lease-reporting workers run a 64-job campaign while an SSE client
+# follows the stream endpoint; progress must be monotone, partials must
+# validate, and the terminal frame's aggregate must be byte-identical to
+# the single-node oracle. Runs under -race so the hub's lock-free
+# publish path is exercised against live subscribers.
+stream-smoke:
+	$(GO) test -race -run='^TestStreamSmoke$$' -count=1 -v ./internal/dist
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -6,23 +6,37 @@
 //
 //	GET  /healthz             liveness, store occupancy, uptime, build info
 //	GET  /metrics             Prometheus text exposition (with exemplars)
-//	GET  /debug/traces        recent traces; ?trace=<id> for one span tree
+//	GET  /debug/traces        recent traces (most recent 100 by default,
+//	                          ?limit=N up to 1000); ?trace=<id> for one
+//	                          span tree
 //	POST /v1/run              run one scenario, return the JSON summary
 //	                          (incl. the flight-recorder event timeline)
 //	POST /v1/campaigns        submit a sweep; returns {"id": ...} (202)
 //	GET  /v1/campaigns/{id}   poll progress (+ runs/sec and ETA while
 //	                          running); summary appears when done
+//	GET  /v1/campaigns/{id}/stream  live SSE feed: progress, incremental
+//	                          partial aggregates, per-job flight events,
+//	                          and a terminal "done" event carrying the
+//	                          final aggregate; supports Last-Event-ID
+//	                          resume (`curl -N` friendly)
 //	GET  /v1/campaigns/{id}/events  campaign audit log (lifecycle + per-job
 //	                          collisions and detector confusion)
 //	DELETE /v1/campaigns/{id} cancel a running sweep
+//	GET  /v1/fleet            fleet view: worker liveness and throughput,
+//	                          per-campaign lease counts, stream-hub health
 //	POST /v1/dist/campaigns   submit a sweep for distributed execution:
 //	                          the grid is split into leases that workers
 //	                          pull, run, and complete with partial
 //	                          aggregates (byte-identical to a local run)
 //	GET  /v1/dist/campaigns/{id}  lease table, per-worker progress,
 //	                          forwarded flight events, summary when done
+//	GET  /v1/dist/campaigns/{id}/stream  live SSE feed of a distributed
+//	                          campaign: lease transitions, mid-lease
+//	                          progress and merged partials, flight
+//	                          events, terminal aggregate
 //	POST /v1/dist/lease       worker pull: acquire the next lease
 //	POST /v1/dist/lease/renew     extend a held lease
+//	POST /v1/dist/lease/progress  stream a held lease's partial snapshot
 //	POST /v1/dist/lease/complete  deliver a shard's partial aggregate
 //
 // Every request gets a trace: a sane inbound X-Request-ID is honored as
@@ -37,6 +51,7 @@
 //	           [-max-body-bytes N] [-log-format text|json] [-pprof-addr ADDR]
 //	           [-lease-jobs N] [-lease-ttl D] [-dist-checkpoint FILE]
 //	           [-join URL] [-worker-id ID] [-poll-interval D]
+//	           [-progress-interval D]
 //
 // With -join, the process additionally runs a distributed-campaign
 // worker: it pulls leases from the coordinator at URL, executes them on
@@ -70,6 +85,7 @@ import (
 	"time"
 
 	"safesense/internal/dist"
+	"safesense/internal/obs/stream"
 )
 
 // options carries the parsed command line into run.
@@ -88,9 +104,10 @@ type options struct {
 	checkpoint string
 
 	// Worker side.
-	join         string
-	workerID     string
-	pollInterval time.Duration
+	join             string
+	workerID         string
+	pollInterval     time.Duration
+	progressInterval time.Duration
 }
 
 func main() {
@@ -108,6 +125,7 @@ func main() {
 	flag.StringVar(&o.join, "join", "", "also run a distributed-campaign worker pulling leases from this coordinator URL")
 	flag.StringVar(&o.workerID, "worker-id", "", "worker identifier reported to the coordinator (default <hostname>-<pid>)")
 	flag.DurationVar(&o.pollInterval, "poll-interval", 0, "worker idle wait between lease pulls (0 = worker default)")
+	flag.DurationVar(&o.progressInterval, "progress-interval", 0, "worker mid-lease progress reporting interval (0 = worker default, negative disables)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -144,11 +162,12 @@ func pprofMux() *http.ServeMux {
 // newCoordinator builds the dist coordinator for this process, replaying
 // and then appending the checkpoint file when one is configured. The
 // returned closer flushes the checkpoint handle at shutdown.
-func newCoordinator(o options, logger *slog.Logger) (*dist.Coordinator, func(), error) {
+func newCoordinator(o options, logger *slog.Logger, hub *stream.Hub) (*dist.Coordinator, func(), error) {
 	coord := dist.NewCoordinator(dist.Config{
 		LeaseJobs: o.leaseJobs,
 		LeaseTTL:  o.leaseTTL,
 		Log:       logger.With("subsys", "dist"),
+		Streams:   hub,
 	})
 	if o.checkpoint == "" {
 		return coord, func() {}, nil
@@ -189,7 +208,10 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
-	coord, closeCheckpoint, err := newCoordinator(o, logger)
+	// One hub carries every stream: local campaigns and the dist
+	// coordinator publish to it, the SSE endpoints subscribe from it.
+	hub := stream.NewHub(0)
+	coord, closeCheckpoint, err := newCoordinator(o, logger, hub)
 	if err != nil {
 		return err
 	}
@@ -201,6 +223,7 @@ func run(o options) error {
 		MaxBodyBytes: o.maxBodyBytes,
 		Log:          logger,
 		Dist:         coord,
+		Streams:      hub,
 	})
 	hs := &http.Server{
 		Addr:              o.addr,
@@ -214,11 +237,12 @@ func run(o options) error {
 	var workerWG sync.WaitGroup
 	if o.join != "" {
 		w, err := dist.NewWorker(dist.WorkerConfig{
-			Coordinator:  o.join,
-			ID:           o.workerID,
-			Jobs:         o.workers,
-			PollInterval: o.pollInterval,
-			Log:          logger.With("subsys", "dist"),
+			Coordinator:      o.join,
+			ID:               o.workerID,
+			Jobs:             o.workers,
+			PollInterval:     o.pollInterval,
+			ProgressInterval: o.progressInterval,
+			Log:              logger.With("subsys", "dist"),
 		})
 		if err != nil {
 			return err

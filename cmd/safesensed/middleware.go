@@ -39,12 +39,16 @@ func newHTTPMetrics(reg *obs.Registry) *httpMetrics {
 func routePattern(r *http.Request) string {
 	p := r.URL.Path
 	switch {
-	case p == "/healthz" || p == "/metrics" || p == "/v1/run" || p == "/v1/campaigns" || p == "/debug/traces":
+	case p == "/healthz" || p == "/metrics" || p == "/v1/run" || p == "/v1/campaigns" || p == "/debug/traces" || p == "/v1/fleet":
 		return p
-	case p == "/v1/dist/campaigns" || p == "/v1/dist/lease" || p == "/v1/dist/lease/renew" || p == "/v1/dist/lease/complete":
+	case p == "/v1/dist/campaigns" || p == "/v1/dist/lease" || p == "/v1/dist/lease/renew" || p == "/v1/dist/lease/progress" || p == "/v1/dist/lease/complete":
 		return p
+	case strings.HasPrefix(p, "/v1/dist/campaigns/") && strings.HasSuffix(p, "/stream"):
+		return "/v1/dist/campaigns/{id}/stream"
 	case strings.HasPrefix(p, "/v1/dist/campaigns/"):
 		return "/v1/dist/campaigns/{id}"
+	case strings.HasPrefix(p, "/v1/campaigns/") && strings.HasSuffix(p, "/stream"):
+		return "/v1/campaigns/{id}/stream"
 	case strings.HasPrefix(p, "/v1/campaigns/") && strings.HasSuffix(p, "/events"):
 		return "/v1/campaigns/{id}/events"
 	case strings.HasPrefix(p, "/v1/campaigns/"):
@@ -154,6 +158,18 @@ func (sr *statusRecorder) Write(b []byte) (int, error) {
 	n, err := sr.ResponseWriter.Write(b)
 	sr.bytes += n
 	return n, err
+}
+
+// Flush forwards to the underlying writer so the SSE endpoints (which
+// require an http.Flusher to push frames as they happen) work through
+// the middleware.
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		if sr.status == 0 {
+			sr.status = http.StatusOK
+		}
+		f.Flush()
+	}
 }
 
 // withObservability wraps the router with per-request trace roots,

@@ -9,12 +9,14 @@ import (
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"time"
 
 	"safesense/internal/campaign"
 	"safesense/internal/dist"
 	"safesense/internal/obs"
+	"safesense/internal/obs/stream"
 	obstrace "safesense/internal/obs/trace"
 	"safesense/internal/report"
 	"safesense/internal/sim"
@@ -46,8 +48,12 @@ type Config struct {
 	Traces *obstrace.Store
 	// Dist is the distributed-campaign coordinator mounted under
 	// /v1/dist/ (nil means one with default lease sizing, sharing this
-	// config's Log, Traces, and MaxJobs).
+	// config's Log, Traces, and Streams).
 	Dist *dist.Coordinator
+	// Streams is the broadcast hub behind the SSE endpoints; local
+	// campaigns and the dist coordinator publish to it, one topic per
+	// campaign ID (nil means a fresh hub with the default replay ring).
+	Streams *stream.Hub
 }
 
 func (c Config) withDefaults() Config {
@@ -69,8 +75,11 @@ func (c Config) withDefaults() Config {
 	if c.Traces == nil {
 		c.Traces = obstrace.Default()
 	}
+	if c.Streams == nil {
+		c.Streams = stream.NewHub(0)
+	}
 	if c.Dist == nil {
-		c.Dist = dist.NewCoordinator(dist.Config{Log: c.Log, Traces: c.Traces})
+		c.Dist = dist.NewCoordinator(dist.Config{Log: c.Log, Traces: c.Traces, Streams: c.Streams})
 	}
 	return c
 }
@@ -187,6 +196,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/stream", s.handleCampaignStream)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancel)
 	// Distributed campaigns: coordinator endpoints under /v1/dist/,
@@ -285,8 +295,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleTraces serves the in-memory span store: the trace list by
-// default, one trace's full span set with ?trace=<id>.
+// Trace-list bounds: the default keeps the payload small for humans
+// poking the endpoint; ?limit=N raises it up to the clamp.
+const (
+	defaultTraceLimit = 100
+	maxTraceLimit     = 1000
+)
+
+// handleTraces serves the in-memory span store: the most recent traces
+// by default (bounded; ?limit=N up to 1000), one trace's full span set
+// with ?trace=<id>.
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if id := r.URL.Query().Get("trace"); id != "" {
 		spans := s.traces.Trace(id)
@@ -297,7 +315,21 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"trace_id": id, "spans": spans})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"traces": s.traces.Summaries()})
+	limit := defaultTraceLimit
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("limit must be a positive integer, got %q", q))
+			return
+		}
+		limit = min(n, maxTraceLimit)
+	}
+	sums := s.traces.Summaries() // oldest first
+	total := len(sums)
+	if total > limit {
+		sums = sums[total-limit:]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": sums, "total": total})
 }
 
 // RunRequest is the single-scenario request: a campaign grid point plus
@@ -432,26 +464,33 @@ func (s *Server) evictLocked() bool {
 	return false
 }
 
-// outcomeEvents derives per-job incident events from a finished sweep's
-// outcomes: collisions and detector confusion, each attributed to the
-// job's index and seed so the run is reproducible from the event alone.
+// jobEvents derives one outcome's incident events: collisions and
+// detector confusion, each attributed to the job's index and seed so
+// the run is reproducible from the event alone.
+func jobEvents(o campaign.Outcome, now time.Time) []CampaignEvent {
+	var evs []CampaignEvent
+	if o.CollisionAt >= 0 {
+		evs = append(evs, CampaignEvent{Time: now, Kind: eventCollision,
+			JobIndex: o.Index, Seed: o.Point.Seed, K: o.CollisionAt, Detail: o.Label})
+	}
+	if o.FalsePositives > 0 {
+		evs = append(evs, CampaignEvent{Time: now, Kind: eventFalsePositive,
+			JobIndex: o.Index, Seed: o.Point.Seed,
+			Detail: fmt.Sprintf("%s: %d false positives", o.Label, o.FalsePositives)})
+	}
+	if o.FalseNegatives > 0 {
+		evs = append(evs, CampaignEvent{Time: now, Kind: eventFalseNegative,
+			JobIndex: o.Index, Seed: o.Point.Seed,
+			Detail: fmt.Sprintf("%s: %d false negatives", o.Label, o.FalseNegatives)})
+	}
+	return evs
+}
+
+// outcomeEvents derives the per-job incident events of a whole sweep.
 func outcomeEvents(sum *campaign.Summary, now time.Time) []CampaignEvent {
 	var evs []CampaignEvent
 	for _, o := range sum.Outcomes {
-		if o.CollisionAt >= 0 {
-			evs = append(evs, CampaignEvent{Time: now, Kind: eventCollision,
-				JobIndex: o.Index, Seed: o.Point.Seed, K: o.CollisionAt, Detail: o.Label})
-		}
-		if o.FalsePositives > 0 {
-			evs = append(evs, CampaignEvent{Time: now, Kind: eventFalsePositive,
-				JobIndex: o.Index, Seed: o.Point.Seed,
-				Detail: fmt.Sprintf("%s: %d false positives", o.Label, o.FalsePositives)})
-		}
-		if o.FalseNegatives > 0 {
-			evs = append(evs, CampaignEvent{Time: now, Kind: eventFalseNegative,
-				JobIndex: o.Index, Seed: o.Point.Seed,
-				Detail: fmt.Sprintf("%s: %d false negatives", o.Label, o.FalseNegatives)})
-		}
+		evs = append(evs, jobEvents(o, now)...)
 	}
 	return evs
 }
@@ -459,11 +498,14 @@ func outcomeEvents(sum *campaign.Summary, now time.Time) []CampaignEvent {
 func (s *Server) runCampaign(ctx context.Context, cspan *obstrace.Span, e *entry, workers int, discard bool) {
 	defer s.wg.Done()
 	defer cspan.End()
+	streamer := newCampaignStreamer(s.cfg.Streams, e.ID, e.Jobs)
 	sum, err := campaign.Run(ctx, e.Spec, campaign.Options{
 		Workers:         workers,
 		DiscardOutcomes: discard,
 		Log:             s.cfg.Log.With("campaign_id", e.ID),
+		OnOutcome:       streamer.onOutcome,
 		OnStats: func(st campaign.Stats) {
+			streamer.onStats(st)
 			s.mu.Lock()
 			e.Done = st.Done
 			e.RunsPerSec = st.RunsPerSec
@@ -490,6 +532,7 @@ func (s *Server) runCampaign(ctx context.Context, cspan *obstrace.Span, e *entry
 		}
 	}
 	e.addEvent(CampaignEvent{Time: now, Kind: e.Status, Detail: e.Err})
+	streamer.finish(e)
 	if cspan.Sampled() {
 		cspan.SetAttr("status", e.Status)
 	}

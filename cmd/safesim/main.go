@@ -5,7 +5,13 @@
 //
 //	safesim [-attack none|dos|delay] [-defended] [-steps N] [-seed S]
 //	        [-offset M] [-onset K] [-leader const|phased] [-csv FILE]
-//	        [-events-out FILE] [-timing] [-profile-dir DIR]
+//	        [-events-out FILE] [-follow] [-timing] [-profile-dir DIR]
+//
+// -follow tails the flight recorder live: each event is printed to
+// stderr as one JSON line the moment the simulator emits it (the same
+// shape -events-out writes at end of run), so a long horizon can be
+// watched as it unfolds and piped to jq without waiting for the
+// summary.
 //
 // -profile-dir writes pprof profiles of the run for offline analysis
 // (`go tool pprof DIR/cpu.pprof`): cpu.pprof covers the simulation
@@ -18,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -43,6 +50,7 @@ func main() {
 	leader := flag.String("leader", "const", "leader profile: const (Fig 2) or phased (Fig 3)")
 	csvPath := flag.String("csv", "", "write the distance trace set as CSV to this file")
 	eventsPath := flag.String("events-out", "", "write the flight-recorder event timeline as JSON Lines to this file (- for stdout)")
+	follow := flag.Bool("follow", false, "stream flight-recorder events to stderr as JSON Lines while the run executes")
 	width := flag.Int("width", 96, "plot width")
 	height := flag.Int("height", 20, "plot height")
 	timing := flag.Bool("timing", false, "print the per-phase timing breakdown next to the summary")
@@ -54,7 +62,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*attackKind, *leader, *csvPath, *eventsPath, *profileDir, *defended, *timing, *steps, *seed, *offset, *onset, *width, *height); err != nil {
+	if err := run(*attackKind, *leader, *csvPath, *eventsPath, *profileDir, *defended, *timing, *follow, *steps, *seed, *offset, *onset, *width, *height); err != nil {
 		fmt.Fprintln(os.Stderr, "safesim:", err)
 		os.Exit(1)
 	}
@@ -91,7 +99,7 @@ func validateFlags(attackKind, leader string, steps, onset int, offset float64, 
 	return nil
 }
 
-func run(attackKind, leader, csvPath, eventsPath, profileDir string, defended, timing bool, steps int, seed int64, offset float64, onset, width, height int) error {
+func run(attackKind, leader, csvPath, eventsPath, profileDir string, defended, timing, follow bool, steps int, seed int64, offset float64, onset, width, height int) error {
 	var s sim.Scenario
 	switch leader {
 	case "const":
@@ -122,8 +130,12 @@ func run(attackKind, leader, csvPath, eventsPath, profileDir string, defended, t
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
+	if follow {
+		ctx = sim.WithFlightSink(ctx, newFollowSink(os.Stderr))
+	}
 	start := time.Now()
-	res, err := sim.Run(s)
+	res, err := sim.RunContext(ctx, s)
 	wall := time.Since(start)
 	if perr := stopProfiles(); err == nil {
 		err = perr
@@ -201,6 +213,17 @@ func startProfiles(dir string) (func() error, error) {
 		return pprof.WriteHeapProfile(heap)
 	}, nil
 }
+
+// followSink is the -follow live tap: one JSON line per flight event,
+// written the moment the simulator emits it. Same wire shape as
+// -events-out, so downstream tooling (jq, the golden fixtures) works on
+// either. Encoding errors (e.g. a closed pipe) drop the tail rather
+// than aborting the simulation.
+type followSink struct{ enc *json.Encoder }
+
+func newFollowSink(w io.Writer) *followSink { return &followSink{enc: json.NewEncoder(w)} }
+
+func (s *followSink) FlightEvent(ev sim.FlightEvent) { _ = s.enc.Encode(ev) }
 
 // writeEvents exports the flight-recorder timeline as JSON Lines, one
 // event per line (the same shape internal/sim pins in its golden file),

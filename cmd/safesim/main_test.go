@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -102,6 +103,31 @@ func TestStartProfilesDisabled(t *testing.T) {
 	}
 	if err := stop(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFollowSinkStreamsJSONL: -follow's live tap must emit exactly the
+// events the run buffers into Result.Flight, one JSON line each, in
+// emission order.
+func TestFollowSinkStreamsJSONL(t *testing.T) {
+	var sb strings.Builder
+	sink := newFollowSink(&sb)
+	res, err := sim.RunContext(sim.WithFlightSink(context.Background(), sink), sim.Fig2bDelay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != len(res.Flight) {
+		t.Fatalf("follow tap wrote %d lines, run recorded %d events", len(lines), len(res.Flight))
+	}
+	for i, line := range lines {
+		var ev sim.FlightEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", i+1, err)
+		}
+		if ev != res.Flight[i] {
+			t.Fatalf("line %d = %+v, want %+v", i+1, ev, res.Flight[i])
+		}
 	}
 }
 

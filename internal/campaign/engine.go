@@ -34,6 +34,12 @@ type Options struct {
 	// cumulative timing-derived stats (runs/sec, ETA). Same serialization
 	// contract as OnProgress.
 	OnStats func(Stats)
+	// OnOutcome, when non-nil, is called after every completed job with
+	// the job's outcome — the live tap behind streamed progress and
+	// incremental Partial accumulation. Calls are serialized with
+	// OnProgress/OnStats but arrive in completion order, not grid order
+	// (feed an Accumulator, whose snapshots re-sort).
+	OnOutcome func(Outcome)
 	// DiscardOutcomes drops the per-job outcome list from the summary,
 	// keeping only the aggregate — for very large campaigns where the
 	// O(jobs) payload is unwanted.
@@ -222,13 +228,16 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Summary, error) {
 
 	var progressMu sync.Mutex
 	done := 0
-	report := func() {
-		if opt.OnProgress == nil && opt.OnStats == nil {
+	report := func(o Outcome) {
+		if opt.OnProgress == nil && opt.OnStats == nil && opt.OnOutcome == nil {
 			return
 		}
 		progressMu.Lock()
 		defer progressMu.Unlock()
 		done++
+		if opt.OnOutcome != nil {
+			opt.OnOutcome(o)
+		}
 		if opt.OnProgress != nil {
 			opt.OnProgress(done, len(jobs))
 		}
@@ -242,7 +251,7 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Summary, error) {
 			Index: o.Index, Seed: o.Point.Seed,
 			Label: o.Label, Seconds: jobTime.Seconds(),
 		})
-		report()
+		report(o)
 	})
 	if err != nil {
 		return nil, err
@@ -271,8 +280,9 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Summary, error) {
 // returning the outcomes in job-list order. The jobs keep their global
 // grid indices (Outcome.Index is Job.Index, not the list position), so
 // a shard's outcomes slot directly into the full-grid statistics.
-// Options are honored for Workers, Log, and OnProgress; summary-level
-// options (DiscardOutcomes, OnStats, SlowestJobs) do not apply.
+// Options are honored for Workers, Log, OnProgress, and OnOutcome;
+// summary-level options (DiscardOutcomes, OnStats, SlowestJobs) do not
+// apply.
 func RunJobs(ctx context.Context, jobs []Job, opt Options) ([]Outcome, error) {
 	workers := opt.Workers
 	if workers <= 0 {
@@ -286,14 +296,19 @@ func RunJobs(ctx context.Context, jobs []Job, opt Options) ([]Outcome, error) {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	var onDone func(Outcome, time.Duration)
-	if opt.OnProgress != nil {
+	if opt.OnProgress != nil || opt.OnOutcome != nil {
 		var mu sync.Mutex
 		done := 0
-		onDone = func(Outcome, time.Duration) {
+		onDone = func(o Outcome, _ time.Duration) {
 			mu.Lock()
 			defer mu.Unlock()
 			done++
-			opt.OnProgress(done, len(jobs))
+			if opt.OnOutcome != nil {
+				opt.OnOutcome(o)
+			}
+			if opt.OnProgress != nil {
+				opt.OnProgress(done, len(jobs))
+			}
 		}
 	}
 	return runPool(ctx, jobs, workers, logger, onDone)

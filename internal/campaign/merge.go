@@ -59,45 +59,54 @@ type Sample struct {
 // It mirrors the AggregateOutcomes loop exactly; outcomes are expected
 // in job-index order (the order the engine and every lease produce).
 func PartialOfOutcomes(outcomes []Outcome) Partial {
-	p := Partial{Jobs: len(outcomes), WorstMinGapM: math.Inf(1)}
+	var p Partial
 	if len(outcomes) == 0 {
-		p.WorstMinGapM = 0
 		return p
 	}
+	p.WorstMinGapM = math.Inf(1)
 	for _, o := range outcomes {
-		attacked := o.Point.Attack != AttackNone && o.Point.Attack != ""
-		if attacked {
-			p.Attacked++
-			if o.Point.Defended {
-				if o.DetectedAt >= 0 {
-					p.Detected++
-					p.Latencies = append(p.Latencies, Sample{Index: o.Index, V: float64(o.DetectionLatency)})
-				} else {
-					p.Missed++
-				}
-			}
-		}
-		p.FalsePositives += o.FalsePositives
-		p.FalseNegatives += o.FalseNegatives
-		if o.CollisionAt >= 0 {
-			p.Collisions++
-		}
-		if o.MinGapM < p.WorstMinGapM {
-			p.WorstMinGapM = o.MinGapM
-		}
-		if o.EstimateSteps > 0 {
-			p.EstimatedRuns++
-			p.DistRMSE = append(p.DistRMSE, Sample{Index: o.Index, V: o.DistRMSEm})
-			p.VelRMSE = append(p.VelRMSE, Sample{Index: o.Index, V: o.VelRMSEmps})
-			if o.DistMaxErrM > p.WorstDistErrM {
-				p.WorstDistErrM = o.DistMaxErrM
-			}
-			if o.VelMaxErrMps > p.WorstVelErrMps {
-				p.WorstVelErrMps = o.VelMaxErrMps
+		p.addOutcome(o)
+	}
+	return p
+}
+
+// addOutcome folds one outcome into the partial, appending its samples
+// in call order. The caller owns the WorstMinGapM fold identity: set it
+// to +Inf before the first outcome (PartialOfOutcomes and
+// Accumulator.Add both do).
+func (p *Partial) addOutcome(o Outcome) {
+	p.Jobs++
+	attacked := o.Point.Attack != AttackNone && o.Point.Attack != ""
+	if attacked {
+		p.Attacked++
+		if o.Point.Defended {
+			if o.DetectedAt >= 0 {
+				p.Detected++
+				p.Latencies = append(p.Latencies, Sample{Index: o.Index, V: float64(o.DetectionLatency)})
+			} else {
+				p.Missed++
 			}
 		}
 	}
-	return p
+	p.FalsePositives += o.FalsePositives
+	p.FalseNegatives += o.FalseNegatives
+	if o.CollisionAt >= 0 {
+		p.Collisions++
+	}
+	if o.MinGapM < p.WorstMinGapM {
+		p.WorstMinGapM = o.MinGapM
+	}
+	if o.EstimateSteps > 0 {
+		p.EstimatedRuns++
+		p.DistRMSE = append(p.DistRMSE, Sample{Index: o.Index, V: o.DistRMSEm})
+		p.VelRMSE = append(p.VelRMSE, Sample{Index: o.Index, V: o.VelRMSEmps})
+		if o.DistMaxErrM > p.WorstDistErrM {
+			p.WorstDistErrM = o.DistMaxErrM
+		}
+		if o.VelMaxErrMps > p.WorstVelErrMps {
+			p.WorstVelErrMps = o.VelMaxErrMps
+		}
+	}
 }
 
 // Merge combines two partials. The operation is commutative and

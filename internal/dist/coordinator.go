@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"safesense/internal/campaign"
+	"safesense/internal/obs/stream"
 	obstrace "safesense/internal/obs/trace"
 )
 
@@ -40,6 +41,11 @@ type Config struct {
 	// Traces is the span store campaign trace roots are minted from
 	// (nil means trace.Default()).
 	Traces *obstrace.Store
+	// Streams is the broadcast hub live campaign events are published
+	// to, one topic per campaign ID (nil disables streaming; every
+	// publish is non-blocking, so a slow or absent subscriber never
+	// stalls lease traffic).
+	Streams *stream.Hub
 }
 
 func (c Config) withDefaults() Config {
@@ -95,12 +101,20 @@ type shard struct {
 	leaseID string
 	expires time.Time
 	grants  int // times granted (re-grants after expiry increment this)
+
+	// live view reported mid-lease by the current holder. Kept apart
+	// from the completed-lease merge: the final aggregate derives only
+	// from completed partials, so a lost or duplicated progress post
+	// can never perturb byte-identity with the single-node fold.
+	liveDone    int
+	livePartial campaign.Partial
 }
 
 // workerProgress tracks one worker's contribution to a campaign.
 type workerProgress struct {
 	jobsDone   int
 	leasesDone int
+	firstSeen  time.Time
 	lastSeen   time.Time
 }
 
@@ -220,6 +234,7 @@ func (c *Coordinator) Submit(req SubmitRequest, traceID string) (SubmitResponse,
 	metricCampaignsActive.With().Add(1)
 	c.cfg.Log.Info("dist campaign submitted",
 		"id", d.id, "jobs", jobs, "leases", len(d.shards), "lease_jobs", leaseJobs)
+	c.publishProgressLocked(d)
 	if jobs == 0 {
 		c.closeCampaignLocked(d)
 	}
@@ -286,10 +301,15 @@ func (c *Coordinator) Acquire(workerID string) (AcquireResponse, bool) {
 				continue // held and live
 			}
 			if sh.worker != "" {
-				// Expired: reclaim before re-granting.
+				// Expired: reclaim before re-granting. The dead holder's
+				// live view is dropped with the lease — the replacement
+				// worker re-reports from zero.
 				metricLeasesExpired.With().Inc()
 				c.cfg.Log.Warn("dist lease expired",
 					"campaign", d.id, "shard", i, "worker", sh.worker, "lease", sh.leaseID)
+				c.publishLeaseLocked(d, i, sh, leaseExpired)
+				sh.liveDone = 0
+				sh.livePartial = campaign.Partial{}
 			}
 			c.nextLease++
 			sh.worker = workerID
@@ -302,6 +322,7 @@ func (c *Coordinator) Acquire(workerID string) (AcquireResponse, bool) {
 			c.cfg.Log.Info("dist lease granted",
 				"campaign", d.id, "shard", i, "worker", workerID,
 				"start", sh.start, "end", sh.end, "grant", sh.grants)
+			c.publishLeaseLocked(d, i, sh, leaseGranted)
 			return AcquireResponse{
 				LeaseID:    sh.leaseID,
 				Campaign:   d.id,
@@ -365,19 +386,19 @@ func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 
 	sh.completed = true
 	sh.partial = req.Partial
-	sh.worker = ""
+	sh.worker = req.WorkerID // completed-by, for the lease event below
+	sh.liveDone = 0
+	sh.livePartial = campaign.Partial{}
 	d.doneShards++
 	d.doneJobs += req.Partial.Jobs
 	d.merged = d.merged.Merge(req.Partial)
 	wp := c.touchWorkerLocked(d, req.WorkerID, now)
 	wp.jobsDone += req.Partial.Jobs
 	wp.leasesDone++
-	for _, ev := range req.Events {
-		if len(d.events) >= maxCampaignEvents {
-			break
-		}
-		d.events = append(d.events, ev)
-	}
+	c.appendEventsLocked(d, req.Events)
+	c.publishLeaseLocked(d, ref.shard, sh, leaseCompleted)
+	sh.worker = ""
+	c.publishProgressLocked(d)
 	c.checkpointLocked(checkpointRecord{Kind: recordLease, Lease: &LeaseRecord{
 		Campaign: d.id, Shard: ref.shard, Start: sh.start, End: sh.end,
 		Worker: req.WorkerID, Partial: req.Partial,
@@ -425,13 +446,30 @@ func (c *Coordinator) closeCampaignLocked(d *dcampaign) {
 	metricCampaignsActive.With().Add(-1)
 	c.cfg.Log.Info("dist campaign done",
 		"id", d.id, "jobs", d.jobs, "workers", workers, "elapsed_seconds", elapsed.Seconds())
+	c.publishLocked(d.id, streamTypeDone, streamDone{
+		Campaign:       d.id,
+		Jobs:           d.jobs,
+		ElapsedSeconds: sum.ElapsedSeconds,
+		Aggregate:      sum.Aggregate,
+	})
+}
+
+// appendEventsLocked forwards a batch of worker flight events into the
+// campaign's bounded event log and onto the stream. Callers hold c.mu.
+func (c *Coordinator) appendEventsLocked(d *dcampaign, evs []Event) {
+	for _, ev := range evs {
+		if len(d.events) < maxCampaignEvents {
+			d.events = append(d.events, ev)
+		}
+		c.publishLocked(d.id, streamTypeFlight, ev)
+	}
 }
 
 // touchWorkerLocked bumps a worker's last-seen time. Callers hold c.mu.
 func (c *Coordinator) touchWorkerLocked(d *dcampaign, workerID string, now time.Time) *workerProgress {
 	wp := d.workers[workerID]
 	if wp == nil {
-		wp = &workerProgress{}
+		wp = &workerProgress{firstSeen: now}
 		d.workers[workerID] = wp
 	}
 	wp.lastSeen = now

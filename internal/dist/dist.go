@@ -111,6 +111,29 @@ type RenewResponse struct {
 	TTLSeconds float64 `json:"ttl_seconds"`
 }
 
+// ProgressRequest is a mid-lease streaming update: a snapshot of the
+// shard's accumulated partial so far plus any flight events discovered
+// since the previous update. Progress is best-effort observability —
+// the coordinator keeps live partials separate from the completed-lease
+// merge, so a lost or reordered progress post never affects the final
+// aggregate.
+type ProgressRequest struct {
+	LeaseID  string `json:"lease_id"`
+	WorkerID string `json:"worker_id"`
+	// Done is how many of the shard's jobs have completed; it must
+	// equal Partial.Jobs.
+	Done    int              `json:"done"`
+	Partial campaign.Partial `json:"partial"`
+	Events  []Event          `json:"events,omitempty"`
+}
+
+// ProgressResponse acknowledges a progress update. Stale reports the
+// update was discarded: the shard already closed or the lease was
+// reassigned, so the worker's live view no longer represents the shard.
+type ProgressResponse struct {
+	Stale bool `json:"stale,omitempty"`
+}
+
 // CompleteRequest delivers a finished shard: the mergeable partial
 // aggregate plus the shard's notable flight events.
 type CompleteRequest struct {
@@ -259,6 +282,36 @@ func DecodeComplete(data []byte) (CompleteRequest, error) {
 	return req, nil
 }
 
+// DecodeProgress parses and validates a mid-lease progress update:
+// identifier bounds, partial consistency, the Done/Partial.Jobs
+// agreement, and the event cap. Lease-range checks are the
+// coordinator's job.
+func DecodeProgress(data []byte) (ProgressRequest, error) {
+	var req ProgressRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return ProgressRequest{}, err
+	}
+	if err := validLeaseID(req.LeaseID); err != nil {
+		return ProgressRequest{}, err
+	}
+	if err := validWorkerID(req.WorkerID); err != nil {
+		return ProgressRequest{}, err
+	}
+	if req.Done < 0 || req.Done > MaxLeaseJobs {
+		return ProgressRequest{}, fmt.Errorf("dist: progress done %d outside [0, %d]", req.Done, MaxLeaseJobs)
+	}
+	if req.Partial.Jobs != req.Done {
+		return ProgressRequest{}, fmt.Errorf("dist: progress done %d disagrees with partial covering %d jobs", req.Done, req.Partial.Jobs)
+	}
+	if err := req.Partial.Validate(); err != nil {
+		return ProgressRequest{}, err
+	}
+	if len(req.Events) > MaxCompleteEvents {
+		return ProgressRequest{}, fmt.Errorf("dist: %d events exceed the %d-event cap", len(req.Events), MaxCompleteEvents)
+	}
+	return req, nil
+}
+
 // OutcomeEvents derives the forwardable flight events from a shard's
 // outcomes: collisions and challenge confusion, truncated at
 // MaxCompleteEvents so one pathological shard cannot flood the
@@ -269,20 +322,41 @@ func OutcomeEvents(outcomes []campaign.Outcome) []Event {
 		if len(evs) >= MaxCompleteEvents {
 			return evs
 		}
-		if o.CollisionAt >= 0 {
-			evs = append(evs, Event{Kind: EventCollision,
-				JobIndex: o.Index, Seed: o.Point.Seed, K: o.CollisionAt, Detail: o.Label})
-		}
-		if o.FalsePositives > 0 && len(evs) < MaxCompleteEvents {
-			evs = append(evs, Event{Kind: EventFalsePositive,
-				JobIndex: o.Index, Seed: o.Point.Seed,
-				Detail: fmt.Sprintf("%s: %d false positives", o.Label, o.FalsePositives)})
-		}
-		if o.FalseNegatives > 0 && len(evs) < MaxCompleteEvents {
-			evs = append(evs, Event{Kind: EventFalseNegative,
-				JobIndex: o.Index, Seed: o.Point.Seed,
-				Detail: fmt.Sprintf("%s: %d false negatives", o.Label, o.FalseNegatives)})
+		for _, ev := range eventsOfOutcome(o) {
+			if len(evs) >= MaxCompleteEvents {
+				break
+			}
+			evs = append(evs, ev)
 		}
 	}
 	return evs
+}
+
+// eventsOfOutcome derives one job's forwardable events — the per-job
+// unit OutcomeEvents and the worker's live progress reporter share, so
+// an event delivered mid-lease is identical to the one a completion
+// would carry.
+func eventsOfOutcome(o campaign.Outcome) []Event {
+	var evs []Event
+	if o.CollisionAt >= 0 {
+		evs = append(evs, Event{Kind: EventCollision,
+			JobIndex: o.Index, Seed: o.Point.Seed, K: o.CollisionAt, Detail: o.Label})
+	}
+	if o.FalsePositives > 0 {
+		evs = append(evs, Event{Kind: EventFalsePositive,
+			JobIndex: o.Index, Seed: o.Point.Seed,
+			Detail: fmt.Sprintf("%s: %d false positives", o.Label, o.FalsePositives)})
+	}
+	if o.FalseNegatives > 0 {
+		evs = append(evs, Event{Kind: EventFalseNegative,
+			JobIndex: o.Index, Seed: o.Point.Seed,
+			Detail: fmt.Sprintf("%s: %d false negatives", o.Label, o.FalseNegatives)})
+	}
+	return evs
+}
+
+// eventKey is the identity progress dedup uses: events are
+// deterministic per job, so kind+job+detail names one event uniquely.
+func eventKey(ev Event) string {
+	return fmt.Sprintf("%s|%d|%s", ev.Kind, ev.JobIndex, ev.Detail)
 }

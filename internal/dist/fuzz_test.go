@@ -38,6 +38,12 @@ func FuzzDecodeLease(f *testing.F) {
 	}); err == nil {
 		f.Add(b)
 	}
+	if b, err := json.Marshal(ProgressRequest{
+		LeaseID: "d000001.0.1", WorkerID: "fuzz-worker", Done: 2, Partial: partial,
+	}); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte(`{"lease_id":"x","worker_id":"w","done":3,"partial":{"jobs":2}}`))
 	// Hostile shapes: oversized IDs, unknown fields, truncations,
 	// trailing garbage, boundary-breaking counts.
 	f.Add([]byte(`{"worker_id":"` + string(make([]byte, MaxWorkerIDLen+1)) + `"}`))
@@ -65,6 +71,20 @@ func FuzzDecodeLease(f *testing.F) {
 			}
 			if verr := req.Spec.Validate(); verr != nil {
 				t.Fatalf("accepted submit with invalid spec: %v", verr)
+			}
+		}
+		if req, err := DecodeProgress(data); err == nil {
+			if req.Done != req.Partial.Jobs {
+				t.Fatalf("accepted progress with done %d over a partial of %d jobs", req.Done, req.Partial.Jobs)
+			}
+			if req.Done < 0 || req.Done > MaxLeaseJobs {
+				t.Fatalf("accepted progress covering %d jobs", req.Done)
+			}
+			if verr := req.Partial.Validate(); verr != nil {
+				t.Fatalf("accepted progress with inconsistent partial: %v", verr)
+			}
+			if len(req.Events) > MaxCompleteEvents {
+				t.Fatalf("accepted progress with %d events", len(req.Events))
 			}
 		}
 		req, err := DecodeComplete(data)

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
+	"safesense/internal/obs/stream"
 	obstrace "safesense/internal/obs/trace"
 )
 
@@ -17,13 +19,20 @@ const maxDistBodyBytes = 16 << 20
 
 // Register mounts the coordinator's endpoints on mux:
 //
-//	POST /v1/dist/campaigns        submit a spec for distributed execution
-//	GET  /v1/dist/campaigns/{id}   status: lease table, per-worker progress,
-//	                               forwarded flight events, summary when done
-//	POST /v1/dist/lease            worker pull: acquire the next lease (204
-//	                               when no work is available)
-//	POST /v1/dist/lease/renew      extend a held lease
-//	POST /v1/dist/lease/complete   deliver a shard's partial aggregate
+//	POST /v1/dist/campaigns             submit a spec for distributed execution
+//	GET  /v1/dist/campaigns/{id}        status: lease table, per-worker progress,
+//	                                    forwarded flight events, summary when done
+//	GET  /v1/dist/campaigns/{id}/stream live SSE feed: progress, merged partials,
+//	                                    flight events, lease transitions, and a
+//	                                    terminal "done" event carrying the final
+//	                                    aggregate; supports Last-Event-ID resume
+//	GET  /v1/fleet                      fleet view: worker liveness, throughput,
+//	                                    per-campaign lease counts, hub health
+//	POST /v1/dist/lease                 worker pull: acquire the next lease (204
+//	                                    when no work is available)
+//	POST /v1/dist/lease/renew           extend a held lease
+//	POST /v1/dist/lease/progress        stream a held lease's partial snapshot
+//	POST /v1/dist/lease/complete        deliver a shard's partial aggregate
 //
 // The handlers are transport-thin: strict bounded decoding, then the
 // coordinator methods. Mounted under safesensed's observability
@@ -32,8 +41,11 @@ const maxDistBodyBytes = 16 << 20
 func (c *Coordinator) Register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/dist/campaigns", c.handleSubmit)
 	mux.HandleFunc("GET /v1/dist/campaigns/{id}", c.handleStatus)
+	mux.HandleFunc("GET /v1/dist/campaigns/{id}/stream", c.handleStream)
+	mux.HandleFunc("GET /v1/fleet", c.handleFleet)
 	mux.HandleFunc("POST /v1/dist/lease", c.handleAcquire)
 	mux.HandleFunc("POST /v1/dist/lease/renew", c.handleRenew)
+	mux.HandleFunc("POST /v1/dist/lease/progress", c.handleProgress)
 	mux.HandleFunc("POST /v1/dist/lease/complete", c.handleComplete)
 }
 
@@ -138,6 +150,74 @@ func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	distWriteJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleProgress(w http.ResponseWriter, r *http.Request) {
+	data, err := readBody(w, r)
+	if err != nil {
+		distWriteError(w, r, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	req, err := DecodeProgress(data)
+	if err != nil {
+		distWriteError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := c.Progress(req)
+	if err != nil {
+		// Unknown lease or an impossible range: the worker's view of
+		// the lease is wrong, so stop posting (progress is best-effort).
+		distWriteError(w, r, http.StatusGone, err)
+		return
+	}
+	distWriteJSON(w, http.StatusOK, resp)
+}
+
+// handleStream serves the campaign's live SSE feed. A finished
+// campaign gets a single synthesized terminal frame (its live "done"
+// event may have been evicted from the replay ring long ago); a
+// running one subscribes with full-history replay, deduplicated
+// against Last-Event-ID when the client is resuming, and ends when the
+// terminal event arrives.
+func (c *Coordinator) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := c.CampaignStatus(id)
+	if !ok {
+		distWriteError(w, r, http.StatusNotFound, fmt.Errorf("dist: no campaign %q", id))
+		return
+	}
+	hub := c.cfg.Streams
+	if hub == nil {
+		distWriteError(w, r, http.StatusNotImplemented, fmt.Errorf("dist: streaming disabled on this coordinator"))
+		return
+	}
+	if st.Status == StatusDone && st.Summary != nil {
+		data, err := json.Marshal(streamDone{
+			Campaign: st.ID, Jobs: st.Jobs,
+			ElapsedSeconds: st.ElapsedSeconds, Aggregate: st.Summary.Aggregate,
+		})
+		if err != nil {
+			distWriteError(w, r, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		_ = stream.EncodeFrame(w, stream.Frame{Event: streamTypeDone, Data: data})
+		return
+	}
+	after, _ := stream.LastEventID(r)
+	_ = stream.Serve(w, r, hub, stream.ServeOptions{
+		Topic:     id,
+		Replay:    true,
+		After:     after,
+		Keepalive: 15 * time.Second,
+		Done:      func(ev *stream.Event) bool { return ev.Type == streamTypeDone },
+	})
+}
+
+func (c *Coordinator) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	// Fleet is a read-only snapshot; no body to decode.
+	distWriteJSON(w, http.StatusOK, c.Fleet())
 }
 
 func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {

@@ -22,6 +22,9 @@ var (
 	metricLeasesCompleted = obs.Default().Counter(
 		"safesense_dist_leases_completed_total",
 		"Leases completed with a valid partial aggregate.")
+	metricProgressUpdates = obs.Default().Counter(
+		"safesense_dist_progress_updates_total",
+		"Mid-lease progress snapshots accepted into the live campaign view.")
 	metricLeaseJobsDone = obs.Default().Counter(
 		"safesense_dist_lease_jobs_done_total",
 		"Jobs delivered through completed leases.")

@@ -1,0 +1,271 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"safesense/internal/campaign"
+)
+
+// SSE event types the coordinator publishes on a campaign's topic. The
+// topic is the campaign ID, so one hub carries every campaign and a
+// subscriber sees only its own.
+const (
+	streamTypeProgress = "progress"
+	streamTypePartial  = "partial"
+	streamTypeFlight   = "flight"
+	streamTypeLease    = "lease"
+	streamTypeDone     = "done"
+)
+
+// Lease transition states carried by "lease" events.
+const (
+	leaseGranted   = "granted"
+	leaseExpired   = "expired"
+	leaseCompleted = "completed"
+)
+
+// streamProgress is the "progress" payload: overall campaign counters,
+// with Done including in-flight jobs reported mid-lease (so the number
+// is monotone during a lease, then settles to the completed-lease total
+// when the shard closes).
+type streamProgress struct {
+	Campaign   string `json:"campaign"`
+	Status     string `json:"status"`
+	Jobs       int    `json:"jobs"`
+	Done       int    `json:"done"`
+	Leases     int    `json:"leases"`
+	DoneLeases int    `json:"done_leases"`
+}
+
+// streamLease is the "lease" payload: one shard transition.
+type streamLease struct {
+	Campaign string `json:"campaign"`
+	Shard    int    `json:"shard"`
+	Start    int    `json:"start"`
+	End      int    `json:"end"`
+	Worker   string `json:"worker,omitempty"`
+	State    string `json:"state"`
+	Grants   int    `json:"grants"`
+}
+
+// streamDone is the terminal payload. Aggregate is embedded as the
+// struct itself, so its JSON bytes inside the event equal a standalone
+// json.Marshal of the campaign aggregate — the stream's byte-identity
+// contract with the single-node oracle.
+type streamDone struct {
+	Campaign       string             `json:"campaign"`
+	Jobs           int                `json:"jobs"`
+	ElapsedSeconds float64            `json:"elapsed_seconds"`
+	Aggregate      campaign.Aggregate `json:"aggregate"`
+}
+
+// publishLocked marshals v and publishes it on the campaign topic.
+// Publishing is non-blocking by the hub's contract, so it is safe (and
+// intentional) to call while holding c.mu. Callers hold c.mu.
+func (c *Coordinator) publishLocked(topic, typ string, v any) {
+	if c.cfg.Streams == nil {
+		return
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	c.cfg.Streams.Publish(topic, typ, data)
+}
+
+// publishLeaseLocked emits one shard transition. Callers hold c.mu.
+func (c *Coordinator) publishLeaseLocked(d *dcampaign, i int, sh *shard, state string) {
+	c.publishLocked(d.id, streamTypeLease, streamLease{
+		Campaign: d.id, Shard: i, Start: sh.start, End: sh.end,
+		Worker: sh.worker, State: state, Grants: sh.grants,
+	})
+}
+
+// publishProgressLocked emits the campaign's current counters plus the
+// merged live partial. Callers hold c.mu.
+func (c *Coordinator) publishProgressLocked(d *dcampaign) {
+	if c.cfg.Streams == nil {
+		return
+	}
+	c.publishLocked(d.id, streamTypeProgress, streamProgress{
+		Campaign: d.id, Status: d.status, Jobs: d.jobs,
+		Done:   d.doneJobs + liveJobs(d),
+		Leases: len(d.shards), DoneLeases: d.doneShards,
+	})
+	c.publishLocked(d.id, streamTypePartial, livePartial(d))
+}
+
+// liveJobs sums the in-flight jobs reported by current lease holders.
+func liveJobs(d *dcampaign) int {
+	n := 0
+	for _, sh := range d.shards {
+		if !sh.completed {
+			n += sh.liveDone
+		}
+	}
+	return n
+}
+
+// livePartial merges the completed-lease fold with every open shard's
+// last-reported live partial: the freshest consistent view of the whole
+// campaign. Shard ranges are disjoint, so the merge is always valid.
+func livePartial(d *dcampaign) campaign.Partial {
+	merged := d.merged
+	for _, sh := range d.shards {
+		if !sh.completed && sh.liveDone > 0 {
+			merged = merged.Merge(sh.livePartial)
+		}
+	}
+	return merged
+}
+
+// Progress records a mid-lease snapshot from the shard's current
+// holder. It feeds only the live view and the event stream — never the
+// completed-lease merge — so progress is free to be lossy, duplicated,
+// or late without touching the final aggregate. Stale updates (closed
+// shard, reassigned lease, or an out-of-order snapshot) are discarded
+// with Stale set; an unknown lease is an error so the worker stops
+// posting.
+func (c *Coordinator) Progress(req ProgressRequest) (ProgressResponse, error) {
+	now := c.cfg.Clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ref := c.leases[req.LeaseID]
+	if ref == nil {
+		return ProgressResponse{}, fmt.Errorf("dist: unknown lease %q", req.LeaseID)
+	}
+	d := ref.campaign
+	sh := d.shards[ref.shard]
+	if sh.completed || sh.leaseID != req.LeaseID || sh.worker != req.WorkerID {
+		return ProgressResponse{Stale: true}, nil
+	}
+	if span := sh.end - sh.start; req.Done > span {
+		return ProgressResponse{}, fmt.Errorf("dist: progress covers %d jobs, lease %q spans %d", req.Done, req.LeaseID, span)
+	}
+	if err := req.Partial.SampleRange(sh.start, sh.end); err != nil {
+		return ProgressResponse{}, err
+	}
+	if req.Done < sh.liveDone {
+		return ProgressResponse{Stale: true}, nil
+	}
+	sh.liveDone = req.Done
+	sh.livePartial = req.Partial
+	c.touchWorkerLocked(d, req.WorkerID, now)
+	c.appendEventsLocked(d, req.Events)
+	c.publishProgressLocked(d)
+	metricProgressUpdates.With().Inc()
+	return ProgressResponse{}, nil
+}
+
+// FleetWorker is one worker's row in the fleet view, aggregated across
+// every stored campaign.
+type FleetWorker struct {
+	ID           string    `json:"id"`
+	JobsDone     int       `json:"jobs_done"`
+	LiveJobs     int       `json:"live_jobs"`
+	LeasesDone   int       `json:"leases_done"`
+	ActiveLeases int       `json:"active_leases"`
+	FirstSeen    time.Time `json:"first_seen"`
+	LastSeen     time.Time `json:"last_seen"`
+	// RunsPerSec is jobs delivered per second of the worker's observed
+	// lifetime (zero until the clock has advanced past first contact).
+	RunsPerSec float64 `json:"runs_per_sec"`
+	// Live reports contact within one lease TTL — a live holder renews
+	// several times per TTL, and an idle worker polls far faster.
+	Live bool `json:"live"`
+}
+
+// FleetCampaign summarizes one campaign for the fleet view.
+type FleetCampaign struct {
+	ID           string `json:"id"`
+	Status       string `json:"status"`
+	Jobs         int    `json:"jobs"`
+	DoneJobs     int    `json:"done_jobs"`
+	LiveJobs     int    `json:"live_jobs"`
+	Leases       int    `json:"leases"`
+	DoneLeases   int    `json:"done_leases"`
+	ActiveLeases int    `json:"active_leases"`
+}
+
+// FleetStatus is the GET /v1/fleet payload: every worker the
+// coordinator has heard from, every stored campaign, and the stream
+// hub's health counters.
+type FleetStatus struct {
+	Workers           []FleetWorker   `json:"workers,omitempty"`
+	Campaigns         []FleetCampaign `json:"campaigns,omitempty"`
+	StreamSubscribers int             `json:"stream_subscribers"`
+	StreamPublished   uint64          `json:"stream_events_published"`
+	StreamDropped     uint64          `json:"stream_events_dropped"`
+}
+
+// Fleet reports fleet-wide worker liveness and throughput. Workers are
+// keyed by ID across campaigns; rows are sorted by ID so the payload is
+// deterministic for a given state.
+func (c *Coordinator) Fleet() FleetStatus {
+	now := c.cfg.Clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	byID := make(map[string]*FleetWorker)
+	var fs FleetStatus
+	for _, id := range c.order {
+		d := c.campaigns[id]
+		if d == nil {
+			continue
+		}
+		fc := FleetCampaign{
+			ID: d.id, Status: d.status, Jobs: d.jobs, DoneJobs: d.doneJobs,
+			LiveJobs: liveJobs(d), Leases: len(d.shards), DoneLeases: d.doneShards,
+		}
+		for _, sh := range d.shards {
+			if sh.completed || sh.worker == "" || !now.Before(sh.expires) {
+				continue
+			}
+			fc.ActiveLeases++
+			if fw := byID[sh.worker]; fw != nil {
+				fw.ActiveLeases++
+				fw.LiveJobs += sh.liveDone
+			} else {
+				byID[sh.worker] = &FleetWorker{ID: sh.worker, ActiveLeases: 1, LiveJobs: sh.liveDone}
+			}
+		}
+		fs.Campaigns = append(fs.Campaigns, fc)
+		for wid, wp := range d.workers {
+			fw := byID[wid]
+			if fw == nil {
+				fw = &FleetWorker{ID: wid}
+				byID[wid] = fw
+			}
+			fw.JobsDone += wp.jobsDone
+			fw.LeasesDone += wp.leasesDone
+			if fw.FirstSeen.IsZero() || wp.firstSeen.Before(fw.FirstSeen) {
+				fw.FirstSeen = wp.firstSeen
+			}
+			if wp.lastSeen.After(fw.LastSeen) {
+				fw.LastSeen = wp.lastSeen
+			}
+		}
+	}
+	ids := make([]string, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fw := byID[id]
+		fw.Live = !fw.LastSeen.IsZero() && now.Sub(fw.LastSeen) <= c.cfg.LeaseTTL
+		if elapsed := fw.LastSeen.Sub(fw.FirstSeen); elapsed > 0 {
+			fw.RunsPerSec = float64(fw.JobsDone+fw.LiveJobs) / elapsed.Seconds()
+		}
+		fs.Workers = append(fs.Workers, *fw)
+	}
+	if c.cfg.Streams != nil {
+		published, dropped, subs := c.cfg.Streams.Stats()
+		fs.StreamSubscribers = subs
+		fs.StreamPublished = published
+		fs.StreamDropped = dropped
+	}
+	return fs
+}

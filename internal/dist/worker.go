@@ -32,6 +32,12 @@ type WorkerConfig struct {
 	// PollInterval is the idle wait between empty acquire pulls (zero
 	// means 500ms).
 	PollInterval time.Duration
+	// ProgressInterval is how often a held lease streams a snapshot of
+	// its partial aggregate to the coordinator for the live campaign
+	// view (zero means 2s; negative disables mid-lease reporting).
+	// Progress is best-effort: a failed post is retried at the next
+	// tick and never affects the final aggregate.
+	ProgressInterval time.Duration
 	// Log receives the worker's structured records (nil discards).
 	Log *slog.Logger
 	// Traces is the span store lease spans root into (nil means
@@ -52,6 +58,9 @@ func (c WorkerConfig) withDefaults() WorkerConfig {
 	}
 	if c.PollInterval == 0 {
 		c.PollInterval = 500 * time.Millisecond
+	}
+	if c.ProgressInterval == 0 {
+		c.ProgressInterval = 2 * time.Second
 	}
 	if c.Log == nil {
 		c.Log = slog.New(discardHandler{})
@@ -177,10 +186,20 @@ func (w *Worker) execute(ctx context.Context, lease AcquireResponse) error {
 	defer cancelRun()
 	stopRenew := w.renewLoop(runCtx, lease, cancelRun)
 
-	outcomes, runErr := campaign.RunJobs(runCtx, shard, campaign.Options{
+	opts := campaign.Options{
 		Workers: w.cfg.Jobs,
 		Log:     w.cfg.Log.With("campaign", lease.Campaign, "lease", lease.LeaseID),
-	})
+	}
+	var reporter *progressReporter
+	stopProgress := func() {}
+	if w.cfg.ProgressInterval > 0 {
+		reporter = newProgressReporter(w, lease)
+		opts.OnOutcome = reporter.onOutcome
+		stopProgress = reporter.loop(runCtx, w.cfg.ProgressInterval)
+	}
+
+	outcomes, runErr := campaign.RunJobs(runCtx, shard, opts)
+	stopProgress()
 	stopRenew()
 	if runErr != nil {
 		if ctx.Err() == nil && leaseCtx.Err() == nil && runCtx.Err() != nil {
@@ -189,11 +208,15 @@ func (w *Worker) execute(ctx context.Context, lease AcquireResponse) error {
 		return runErr
 	}
 
+	events := OutcomeEvents(outcomes)
+	if reporter != nil {
+		events = reporter.remainingEvents(events)
+	}
 	req := CompleteRequest{
 		LeaseID:  lease.LeaseID,
 		WorkerID: w.cfg.ID,
 		Partial:  campaign.PartialOfOutcomes(outcomes),
-		Events:   OutcomeEvents(outcomes),
+		Events:   events,
 	}
 	var resp CompleteResponse
 	if err := w.completeWithRetry(ctx, req, &resp, lease.TraceID); err != nil {

@@ -36,6 +36,10 @@ var Determinism = &Analyzer{
 		// clock only through the injected seam, and status payloads must
 		// not leak map iteration order.
 		"internal/dist",
+		// The stream hub sits on the sim hot path (flight-recorder sink,
+		// campaign callbacks): it must never consult a wall clock or
+		// iterate maps into the wire — event order is the publish order.
+		"internal/obs/stream",
 	},
 	Run: runDeterminism,
 }

@@ -1,0 +1,71 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzSSEFrame round-trips arbitrary frames through the encoder and
+// decoder. The oracle: decoding an encoded frame yields the same ID,
+// the event name with line terminators stripped (they cannot be
+// framed), and the data with CR / CRLF normalized to LF (SSE line
+// splitting erases the distinction by design). The stream must also end
+// cleanly after exactly one frame.
+func FuzzSSEFrame(f *testing.F) {
+	f.Add(uint64(1), "progress", []byte(`{"done":3}`))
+	f.Add(uint64(0), "", []byte{})
+	f.Add(uint64(42), "multi line", []byte("a\nb\r\nc\rd"))
+	f.Add(uint64(7), "colon:name", []byte("data: nested\n\nmore"))
+	f.Add(^uint64(0), "ev\nil", []byte("\r\n\r\n"))
+	f.Fuzz(func(t *testing.T, id uint64, event string, data []byte) {
+		var buf bytes.Buffer
+		if err := EncodeFrame(&buf, Frame{ID: id, Event: event, Data: data}); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		wire := buf.String()
+		d := NewDecoder(&buf)
+		got, err := d.Next()
+		if err != nil {
+			t.Fatalf("decode of %q: %v", wire, err)
+		}
+		if got.ID != id {
+			t.Fatalf("ID round-trip: got %d, want %d (wire %q)", got.ID, id, wire)
+		}
+		if want := stripLineBreaks(event); got.Event != want {
+			t.Fatalf("event round-trip: got %q, want %q (wire %q)", got.Event, want, wire)
+		}
+		if want := normalizeNewlines(data); !bytes.Equal(got.Data, want) {
+			t.Fatalf("data round-trip: got %q, want %q (wire %q)", got.Data, want, wire)
+		}
+		if _, err := d.Next(); err != io.EOF {
+			t.Fatalf("stream not clean after one frame: %v (wire %q)", err, wire)
+		}
+	})
+}
+
+func stripLineBreaks(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' || s[i] == '\r' {
+			continue
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}
+
+func normalizeNewlines(b []byte) []byte {
+	out := make([]byte, 0, len(b))
+	for i := 0; i < len(b); i++ {
+		if b[i] == '\r' {
+			out = append(out, '\n')
+			if i+1 < len(b) && b[i+1] == '\n' {
+				i++
+			}
+			continue
+		}
+		out = append(out, b[i])
+	}
+	return out
+}

@@ -1,0 +1,19 @@
+package stream
+
+import "safesense/internal/obs"
+
+// Hub metrics on the default registry, exposed by safesensed at
+// /metrics. Deliberately label-free: stream topics are campaign IDs
+// (unbounded cardinality), so per-topic detail belongs in status
+// payloads, not metric labels (the metriclabels analyzer's contract).
+var (
+	metricSubscribers = obs.Default().Gauge(
+		"safesense_stream_subscribers",
+		"Hub subscribers (SSE streams and internal taps) currently registered.")
+	metricDropped = obs.Default().Counter(
+		"safesense_stream_dropped_events_total",
+		"Events dropped because a subscriber's buffer was full (load shed instead of backpressure).")
+	metricPublished = obs.Default().Counter(
+		"safesense_stream_events_published_total",
+		"Events published to the stream hub.")
+)

@@ -1,0 +1,278 @@
+package stream
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Frame is one server-sent event on the wire:
+//
+//	id: 7
+//	event: progress
+//	data: {"done":3}
+//	<blank line>
+//
+// Multi-line data encodes as one `data:` line per line; the decoder
+// joins them back with "\n". A zero ID omits the id line (the client's
+// Last-Event-ID cursor does not advance).
+type Frame struct {
+	ID    uint64
+	Event string
+	Data  []byte
+}
+
+// AppendFrame appends the SSE encoding of f to dst and returns the
+// extended slice. CR, LF, and CRLF in Data all split data lines (they
+// decode uniformly as "\n"); CR and LF are stripped from the event name
+// since they cannot be framed.
+func AppendFrame(dst []byte, f Frame) []byte {
+	if f.ID != 0 {
+		dst = append(dst, "id: "...)
+		dst = strconv.AppendUint(dst, f.ID, 10)
+		dst = append(dst, '\n')
+	}
+	if f.Event != "" {
+		dst = append(dst, "event: "...)
+		dst = appendEventName(dst, f.Event)
+		dst = append(dst, '\n')
+	}
+	data := f.Data
+	for {
+		line, rest, more := cutLine(data)
+		dst = append(dst, "data: "...)
+		dst = append(dst, line...)
+		dst = append(dst, '\n')
+		if !more {
+			break
+		}
+		data = rest
+	}
+	dst = append(dst, '\n')
+	return dst
+}
+
+// EncodeFrame writes the SSE encoding of f to w.
+func EncodeFrame(w io.Writer, f Frame) error {
+	_, err := w.Write(AppendFrame(nil, f))
+	return err
+}
+
+// WriteKeepalive writes an SSE comment; clients ignore it, idle proxies
+// and peers see traffic.
+func WriteKeepalive(w io.Writer) error {
+	_, err := io.WriteString(w, ": keepalive\n\n")
+	return err
+}
+
+// appendEventName appends name with CR and LF stripped — an event name
+// cannot span lines.
+func appendEventName(dst []byte, name string) []byte {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '\n' || name[i] == '\r' {
+			continue
+		}
+		dst = append(dst, name[i])
+	}
+	return dst
+}
+
+// cutLine splits b at the first line terminator (LF, CRLF, or lone CR).
+// more reports whether a terminator was found (rest may be empty: a
+// trailing terminator yields a final empty line).
+func cutLine(b []byte) (line, rest []byte, more bool) {
+	for i := 0; i < len(b); i++ {
+		switch b[i] {
+		case '\n':
+			return b[:i], b[i+1:], true
+		case '\r':
+			if i+1 < len(b) && b[i+1] == '\n' {
+				return b[:i], b[i+2:], true
+			}
+			return b[:i], b[i+1:], true
+		}
+	}
+	return b, nil, false
+}
+
+// Decoder reads SSE frames back off a stream; it understands exactly
+// the subset EncodeFrame emits plus comment lines, which it skips.
+type Decoder struct {
+	r *bufio.Reader
+}
+
+// NewDecoder returns a Decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: bufio.NewReader(r)}
+}
+
+// Next returns the next frame. It returns io.EOF when the stream ends
+// cleanly between frames, and io.ErrUnexpectedEOF when it ends inside
+// one.
+func (d *Decoder) Next() (Frame, error) {
+	var f Frame
+	var data []string
+	pending := false
+	for {
+		line, err := d.r.ReadString('\n')
+		if err != nil {
+			if err == io.EOF && !pending && line == "" {
+				return Frame{}, io.EOF
+			}
+			if err == io.EOF {
+				return Frame{}, io.ErrUnexpectedEOF
+			}
+			return Frame{}, err
+		}
+		line = strings.TrimSuffix(line, "\n")
+		line = strings.TrimSuffix(line, "\r")
+		if line == "" {
+			if !pending {
+				continue // stray blank line between frames
+			}
+			if data != nil {
+				f.Data = []byte(strings.Join(data, "\n"))
+			}
+			return f, nil
+		}
+		if strings.HasPrefix(line, ":") {
+			continue // comment (keepalive)
+		}
+		field, value, _ := strings.Cut(line, ":")
+		value = strings.TrimPrefix(value, " ")
+		switch field {
+		case "id":
+			f.ID, _ = strconv.ParseUint(value, 10, 64)
+		case "event":
+			f.Event = value
+		case "data":
+			data = append(data, value)
+		default:
+			continue // unknown field: ignore per SSE spec, not pending
+		}
+		pending = true
+	}
+}
+
+// LastEventID extracts the client's resume cursor from the
+// Last-Event-ID header (set by EventSource on reconnect) or, as a
+// curl-friendly fallback, the last_event_id query parameter. ok is
+// false when neither carries a valid decimal ID.
+func LastEventID(r *http.Request) (id uint64, ok bool) {
+	raw := r.Header.Get("Last-Event-ID")
+	if raw == "" {
+		raw = r.URL.Query().Get("last_event_id")
+	}
+	if raw == "" {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
+// ServeOptions configures one SSE response served off a hub.
+type ServeOptions struct {
+	// Topic filters delivery ("" streams every topic).
+	Topic string
+	// Replay, when true, first replays retained events with ID > After.
+	// When false the stream starts at "now".
+	Replay bool
+	// After is the resume cursor used when Replay is set.
+	After uint64
+	// Keepalive is the comment cadence on an idle stream (0 means 15s).
+	Keepalive time.Duration
+	// Buffer is the subscriber buffer capacity (0 means
+	// DefaultSubscriberBuffer).
+	Buffer int
+	// Init, when non-nil, runs after headers are sent and replay is
+	// done, before live delivery — the place to write an orientation
+	// frame (e.g. current status).
+	Init func(w io.Writer) error
+	// Done, when non-nil, reports that ev is the stream's final event:
+	// Serve flushes it and returns nil.
+	Done func(ev *Event) bool
+}
+
+// errNoFlusher reports a ResponseWriter that cannot stream.
+var errNoFlusher = errors.New("stream: ResponseWriter does not implement http.Flusher")
+
+// Serve writes an SSE response from h until the client disconnects or
+// Done says the stream is complete. Publish-side slowness policy
+// applies: if this client stops reading, events drop (counted) rather
+// than backing up the publisher; the client sees the loss as an event
+// ID gap.
+func Serve(w http.ResponseWriter, r *http.Request, h *Hub, opt ServeOptions) error {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return errNoFlusher
+	}
+	hdr := w.Header()
+	hdr.Set("Content-Type", "text/event-stream")
+	hdr.Set("Cache-Control", "no-cache")
+	hdr.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	sub := h.Subscribe(opt.Topic, opt.Buffer)
+	defer sub.Close()
+
+	last := opt.After
+	if opt.Replay {
+		for _, ev := range h.Replay(opt.Topic, opt.After) {
+			if err := EncodeFrame(w, Frame{ID: ev.ID, Event: ev.Type, Data: ev.Data}); err != nil {
+				return err
+			}
+			last = ev.ID
+			if opt.Done != nil && opt.Done(ev) {
+				fl.Flush()
+				return nil
+			}
+		}
+	} else {
+		last = h.LastID()
+	}
+	if opt.Init != nil {
+		if err := opt.Init(w); err != nil {
+			return err
+		}
+	}
+	fl.Flush()
+
+	keepalive := opt.Keepalive
+	if keepalive <= 0 {
+		keepalive = 15 * time.Second
+	}
+	tick := time.NewTicker(keepalive)
+	defer tick.Stop()
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case ev := <-sub.Events():
+			if ev.ID <= last {
+				continue // already sent during replay
+			}
+			last = ev.ID
+			if err := EncodeFrame(w, Frame{ID: ev.ID, Event: ev.Type, Data: ev.Data}); err != nil {
+				return err
+			}
+			fl.Flush()
+			if opt.Done != nil && opt.Done(ev) {
+				return nil
+			}
+		case <-tick.C:
+			if err := WriteKeepalive(w); err != nil {
+				return err
+			}
+			fl.Flush()
+		}
+	}
+}

@@ -24,6 +24,25 @@ func TestFlightRecorderEmitZeroAlloc(t *testing.T) {
 	})
 }
 
+// countingSink counts deliveries without retaining the event — the
+// shape of a well-behaved live tap.
+type countingSink struct{ n int }
+
+func (s *countingSink) FlightEvent(FlightEvent) { s.n++ }
+
+func TestFlightRecorderEmitWithSinkZeroAlloc(t *testing.T) {
+	fr := newFlightRecorder()
+	sink := &countingSink{}
+	fr.sink = sink
+	assertZeroAllocs(t, "emit+sink", func() {
+		fr.events = fr.events[:0]
+		fr.emit(EventChallenge, 1e-13, "")
+	})
+	if sink.n == 0 {
+		t.Fatal("sink saw no events")
+	}
+}
+
 func TestFlightRecorderRecordZeroAlloc(t *testing.T) {
 	fr := newFlightRecorder()
 	st := StepState{K: 1, GapM: 30, UsedM: 30}

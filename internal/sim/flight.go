@@ -103,6 +103,11 @@ type flightRecorder struct {
 	k      int // current timestep, stamped onto emitted events
 	events []FlightEvent
 
+	// sink, when non-nil, sees every emitted event live (in addition to
+	// the events buffer). The recorder calls it synchronously on the run
+	// goroutine; FlightSink's contract keeps it non-blocking.
+	sink FlightSink
+
 	ring  [stateRingCap]StepState
 	ringN int // total steps recorded (ring head = ringN % cap)
 
@@ -130,7 +135,11 @@ func newFlightRecorder() *flightRecorder {
 //
 //safesense:hotpath
 func (fr *flightRecorder) emit(kind string, value float64, detail string) {
-	fr.events = append(fr.events, FlightEvent{K: fr.k, Kind: kind, Value: value, Detail: detail})
+	ev := FlightEvent{K: fr.k, Kind: kind, Value: value, Detail: detail}
+	fr.events = append(fr.events, ev)
+	if fr.sink != nil {
+		fr.sink.FlightEvent(ev)
+	}
 }
 
 // record stores this step's state into the ring (overwriting the oldest

@@ -139,6 +139,7 @@ func RunContext(ctx context.Context, s Scenario) (*Result, error) {
 	}
 
 	fr := newFlightRecorder()
+	fr.sink = flightSinkFrom(ctx)
 	res := new(Result) // declared early so the estimate hook can read EstimateSteps
 	pred.SetTransitionHook(func(takeover bool) {
 		if takeover {

@@ -1,0 +1,33 @@
+package sim
+
+import "context"
+
+// FlightSink receives flight-recorder events as they are emitted —
+// inside the step loop, in deterministic emission order, before the run
+// returns. A sink is the live tap behind `safesim -follow` and the
+// streaming hub: the recorder still buffers every event into
+// Result.Flight regardless.
+//
+// Sink calls happen on the run's goroutine inside the
+// //safesense:hotpath loop, so implementations must be fast and must
+// never block; hand anything slow (I/O, fan-out) to a bounded
+// non-blocking bus such as internal/obs/stream.
+type FlightSink interface {
+	FlightEvent(ev FlightEvent)
+}
+
+// flightSinkKey carries the sink through a context.
+type flightSinkKey struct{}
+
+// WithFlightSink returns a context whose runs (via RunContext) deliver
+// flight-recorder events to sink as they happen.
+func WithFlightSink(ctx context.Context, sink FlightSink) context.Context {
+	return context.WithValue(ctx, flightSinkKey{}, sink)
+}
+
+// flightSinkFrom extracts the sink installed by WithFlightSink (nil
+// when absent).
+func flightSinkFrom(ctx context.Context) FlightSink {
+	s, _ := ctx.Value(flightSinkKey{}).(FlightSink)
+	return s
+}

@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"context"
+	"testing"
+)
+
+// collectSink records every delivered event.
+type collectSink struct{ events []FlightEvent }
+
+func (s *collectSink) FlightEvent(ev FlightEvent) { s.events = append(s.events, ev) }
+
+// TestFlightSinkMirrorsResultFlight runs a defended attack scenario with
+// a sink installed and checks the live tap saw exactly the events the
+// recorder buffered, in the same order — the contract safesim -follow
+// and the streaming hub rely on.
+func TestFlightSinkMirrorsResultFlight(t *testing.T) {
+	s := Fig3aDoS()
+	sink := &collectSink{}
+	res, err := RunContext(WithFlightSink(context.Background(), sink), s)
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if len(res.Flight) == 0 {
+		t.Fatal("scenario produced no flight events; pick a livelier fixture")
+	}
+	if len(sink.events) != len(res.Flight) {
+		t.Fatalf("sink saw %d events, Result.Flight has %d", len(sink.events), len(res.Flight))
+	}
+	for i := range res.Flight {
+		if sink.events[i] != res.Flight[i] {
+			t.Fatalf("event %d diverges: sink %+v vs result %+v", i, sink.events[i], res.Flight[i])
+		}
+	}
+}
+
+// TestRunWithoutSinkUnchanged pins the no-sink default: RunContext on a
+// bare context must behave identically to Run.
+func TestRunWithoutSinkUnchanged(t *testing.T) {
+	s := Fig3aDoS()
+	a, err := Run(s)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := RunContext(context.Background(), s)
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if len(a.Flight) != len(b.Flight) {
+		t.Fatalf("flight timelines diverge: %d vs %d events", len(a.Flight), len(b.Flight))
+	}
+}
