@@ -5,7 +5,7 @@ GO ?= go
 # without letting coverage rot.
 COVER_MIN ?= 78
 
-.PHONY: all build test race race-hot vet fmt-check lint fuzz-smoke dist-smoke stream-smoke bench bench-smoke bench-check bench-capture perf-baseline cover check
+.PHONY: all build test race race-hot vet fmt-check lint fuzz-smoke dist-smoke stream-smoke forensic-smoke bench bench-smoke bench-check bench-capture perf-baseline cover check
 
 all: check
 
@@ -47,6 +47,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeSpec -fuzztime=$(FUZZ_TIME) ./internal/campaign
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeLease -fuzztime=$(FUZZ_TIME) ./internal/dist
 	$(GO) test -run='^$$' -fuzz=FuzzSSEFrame -fuzztime=$(FUZZ_TIME) ./internal/obs/stream
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeCapture -fuzztime=$(FUZZ_TIME) ./internal/obs/forensic
 
 # dist-smoke is the distributed-execution gate: an in-process
 # coordinator plus two pull workers shard a 64-job campaign over the
@@ -64,6 +65,15 @@ dist-smoke:
 # publish path is exercised against live subscribers.
 stream-smoke:
 	$(GO) test -race -run='^TestStreamSmoke$$' -count=1 -v ./internal/dist
+
+# forensic-smoke is the anomaly-forensics gate: two workers run a
+# collision-bearing sweep, the coordinator must end up with the
+# anomaly captured in its forensic store (deduped across shard
+# retries), replaying the capture must reproduce the stored flight
+# timeline byte-for-byte, and the merged aggregate must stay
+# byte-identical to the single-node oracle.
+forensic-smoke:
+	$(GO) test -race -run='^TestForensicSmoke$$' -count=1 -v ./internal/dist
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

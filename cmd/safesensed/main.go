@@ -22,6 +22,14 @@
 //	GET  /v1/campaigns/{id}/events  campaign audit log (lifecycle + per-job
 //	                          collisions and detector confusion)
 //	DELETE /v1/campaigns/{id} cancel a running sweep
+//	GET  /v1/anomalies        list forensic anomaly captures (most recent
+//	                          first; ?kind= ?campaign= ?attack= ?spec_hash=
+//	                          filters, ?limit= ?offset= paging)
+//	GET  /v1/anomalies/{hash} one capture's full evidence: grid point,
+//	                          flight timeline, anomaly state dumps
+//	POST /v1/anomalies/{hash}/replay  re-run the captured scenario from
+//	                          its seed and diff the fresh flight timeline
+//	                          against the stored one (determinism check)
 //	GET  /v1/fleet            fleet view: worker liveness and throughput,
 //	                          per-campaign lease counts, stream-hub health
 //	POST /v1/dist/campaigns   submit a sweep for distributed execution:
@@ -49,6 +57,8 @@
 //
 //	safesensed [-addr :8077] [-workers N] [-max-campaigns N] [-max-jobs N]
 //	           [-max-body-bytes N] [-log-format text|json] [-pprof-addr ADDR]
+//	           [-forensic-dir DIR] [-forensic-budget-bytes N]
+//	           [-forensic-latency-pct P]
 //	           [-lease-jobs N] [-lease-ttl D] [-dist-checkpoint FILE]
 //	           [-join URL] [-worker-id ID] [-poll-interval D]
 //	           [-progress-interval D]
@@ -85,6 +95,7 @@ import (
 	"time"
 
 	"safesense/internal/dist"
+	"safesense/internal/obs/forensic"
 	"safesense/internal/obs/stream"
 )
 
@@ -97,6 +108,11 @@ type options struct {
 	maxCampaigns int
 	maxJobs      int
 	maxBodyBytes int64
+
+	// Forensic anomaly store.
+	forensicDir    string
+	forensicBudget int64
+	forensicPct    float64
 
 	// Coordinator side.
 	leaseJobs  int
@@ -119,6 +135,9 @@ func main() {
 	flag.Int64Var(&o.maxBodyBytes, "max-body-bytes", 1<<20, "reject request bodies larger than this (413)")
 	flag.StringVar(&o.logFormat, "log-format", "text", "log output format: text or json")
 	flag.StringVar(&o.pprofAddr, "pprof-addr", "", "serve net/http/pprof and /debug/vars on this address (empty = disabled; keep it private)")
+	flag.StringVar(&o.forensicDir, "forensic-dir", "", "persist anomaly captures to JSONL segments in this directory (empty = in-memory only)")
+	flag.Int64Var(&o.forensicBudget, "forensic-budget-bytes", 0, "resident anomaly-capture budget in bytes (0 = 64 MiB default)")
+	flag.Float64Var(&o.forensicPct, "forensic-latency-pct", 0, "also capture jobs slower than this percentile of recent jobs, e.g. 99 (0 = disabled)")
 	flag.IntVar(&o.leaseJobs, "lease-jobs", 0, "distributed campaigns: jobs per lease (0 = coordinator default)")
 	flag.DurationVar(&o.leaseTTL, "lease-ttl", 0, "distributed campaigns: lease lifetime before reassignment (0 = coordinator default)")
 	flag.StringVar(&o.checkpoint, "dist-checkpoint", "", "distributed campaigns: JSONL checkpoint file replayed at startup and appended while running")
@@ -162,12 +181,13 @@ func pprofMux() *http.ServeMux {
 // newCoordinator builds the dist coordinator for this process, replaying
 // and then appending the checkpoint file when one is configured. The
 // returned closer flushes the checkpoint handle at shutdown.
-func newCoordinator(o options, logger *slog.Logger, hub *stream.Hub) (*dist.Coordinator, func(), error) {
+func newCoordinator(o options, logger *slog.Logger, hub *stream.Hub, store *forensic.Store) (*dist.Coordinator, func(), error) {
 	coord := dist.NewCoordinator(dist.Config{
 		LeaseJobs: o.leaseJobs,
 		LeaseTTL:  o.leaseTTL,
 		Log:       logger.With("subsys", "dist"),
 		Streams:   hub,
+		Forensic:  store,
 	})
 	if o.checkpoint == "" {
 		return coord, func() {}, nil
@@ -211,19 +231,33 @@ func run(o options) error {
 	// One hub carries every stream: local campaigns and the dist
 	// coordinator publish to it, the SSE endpoints subscribe from it.
 	hub := stream.NewHub(0)
-	coord, closeCheckpoint, err := newCoordinator(o, logger, hub)
+	// One forensic store backs every capture path: local campaigns sink
+	// into it, the coordinator merges worker-shipped captures into it,
+	// and /v1/anomalies serves it.
+	store, err := forensic.Open(forensic.Options{
+		Dir:         o.forensicDir,
+		BudgetBytes: o.forensicBudget,
+		Log:         logger.With("subsys", "forensic"),
+	})
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	coord, closeCheckpoint, err := newCoordinator(o, logger, hub, store)
 	if err != nil {
 		return err
 	}
 	defer closeCheckpoint()
 	srv := NewServer(Config{
-		Workers:      o.workers,
-		MaxCampaigns: o.maxCampaigns,
-		MaxJobs:      o.maxJobs,
-		MaxBodyBytes: o.maxBodyBytes,
-		Log:          logger,
-		Dist:         coord,
-		Streams:      hub,
+		Workers:            o.workers,
+		MaxCampaigns:       o.maxCampaigns,
+		MaxJobs:            o.maxJobs,
+		MaxBodyBytes:       o.maxBodyBytes,
+		Log:                logger,
+		Dist:               coord,
+		Streams:            hub,
+		Forensic:           store,
+		ForensicLatencyPct: o.forensicPct,
 	})
 	hs := &http.Server{
 		Addr:              o.addr,

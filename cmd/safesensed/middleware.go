@@ -47,6 +47,12 @@ func routePattern(r *http.Request) string {
 		return "/v1/dist/campaigns/{id}/stream"
 	case strings.HasPrefix(p, "/v1/dist/campaigns/"):
 		return "/v1/dist/campaigns/{id}"
+	case p == "/v1/anomalies":
+		return p
+	case strings.HasPrefix(p, "/v1/anomalies/") && strings.HasSuffix(p, "/replay"):
+		return "/v1/anomalies/{hash}/replay"
+	case strings.HasPrefix(p, "/v1/anomalies/"):
+		return "/v1/anomalies/{hash}"
 	case strings.HasPrefix(p, "/v1/campaigns/") && strings.HasSuffix(p, "/stream"):
 		return "/v1/campaigns/{id}/stream"
 	case strings.HasPrefix(p, "/v1/campaigns/") && strings.HasSuffix(p, "/events"):

@@ -16,6 +16,7 @@ import (
 	"safesense/internal/campaign"
 	"safesense/internal/dist"
 	"safesense/internal/obs"
+	"safesense/internal/obs/forensic"
 	"safesense/internal/obs/stream"
 	obstrace "safesense/internal/obs/trace"
 	"safesense/internal/report"
@@ -54,6 +55,15 @@ type Config struct {
 	// campaigns and the dist coordinator publish to it, one topic per
 	// campaign ID (nil means a fresh hub with the default replay ring).
 	Streams *stream.Hub
+	// Forensic is the anomaly-capture store behind GET /v1/anomalies.
+	// Local campaigns capture into it directly; the dist coordinator
+	// merges worker-shipped captures into it. Nil means a memory-only
+	// store (captures survive until eviction or restart); point it at a
+	// directory via forensic.Open to persist across restarts.
+	Forensic *forensic.Store
+	// ForensicLatencyPct additionally captures local-campaign jobs whose
+	// wall time exceeds this percentile of recent jobs (0 disables).
+	ForensicLatencyPct float64
 }
 
 func (c Config) withDefaults() Config {
@@ -78,8 +88,14 @@ func (c Config) withDefaults() Config {
 	if c.Streams == nil {
 		c.Streams = stream.NewHub(0)
 	}
+	if c.Forensic == nil {
+		// Memory-only store; Open cannot fail without a directory.
+		c.Forensic, _ = forensic.Open(forensic.Options{Log: c.Log})
+	}
 	if c.Dist == nil {
-		c.Dist = dist.NewCoordinator(dist.Config{Log: c.Log, Traces: c.Traces, Streams: c.Streams})
+		c.Dist = dist.NewCoordinator(dist.Config{
+			Log: c.Log, Traces: c.Traces, Streams: c.Streams, Forensic: c.Forensic,
+		})
 	}
 	return c
 }
@@ -199,6 +215,10 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/stream", s.handleCampaignStream)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancel)
+	// Anomaly forensics: the capture store behind every campaign.
+	s.mux.HandleFunc("GET /v1/anomalies", s.handleAnomalies)
+	s.mux.HandleFunc("GET /v1/anomalies/{hash}", s.handleAnomaly)
+	s.mux.HandleFunc("POST /v1/anomalies/{hash}/replay", s.handleAnomalyReplay)
 	// Distributed campaigns: coordinator endpoints under /v1/dist/,
 	// behind the same observability middleware as every other route.
 	s.cfg.Dist.Register(s.mux)
@@ -329,7 +349,13 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if total > limit {
 		sums = sums[total-limit:]
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"traces": sums, "total": total})
+	stats := s.traces.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"traces":        sums,
+		"total":         total,
+		"dropped_roots": stats.DroppedRoots,
+		"evicted_spans": stats.EvictedSpans,
+	})
 }
 
 // RunRequest is the single-scenario request: a campaign grid point plus
@@ -503,7 +529,12 @@ func (s *Server) runCampaign(ctx context.Context, cspan *obstrace.Span, e *entry
 		Workers:         workers,
 		DiscardOutcomes: discard,
 		Log:             s.cfg.Log.With("campaign_id", e.ID),
-		OnOutcome:       streamer.onOutcome,
+		Forensic: &campaign.ForensicOptions{
+			Sink:              func(fc forensic.Capture) { _, _, _ = s.cfg.Forensic.Put(fc) },
+			Campaign:          e.ID,
+			LatencyOutlierPct: s.cfg.ForensicLatencyPct,
+		},
+		OnOutcome: streamer.onOutcome,
 		OnStats: func(st campaign.Stats) {
 			streamer.onStats(st)
 			s.mu.Lock()

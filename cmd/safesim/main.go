@@ -6,6 +6,15 @@
 //	safesim [-attack none|dos|delay] [-defended] [-steps N] [-seed S]
 //	        [-offset M] [-onset K] [-leader const|phased] [-csv FILE]
 //	        [-events-out FILE] [-follow] [-timing] [-profile-dir DIR]
+//	        [-forensic-dir DIR] [-replay HASH]
+//
+// -forensic-dir persists a forensic capture of the run (grid point,
+// flight timeline, anomaly state dumps, phase timings) into the anomaly
+// store at DIR and prints its content hash — the same store format
+// safesensed serves at /v1/anomalies. -replay HASH re-runs a stored
+// capture from its seed and diffs the fresh flight timeline against the
+// stored one, exiting 1 on divergence; together they make any captured
+// anomaly a portable, re-checkable artifact.
 //
 // -follow tails the flight recorder live: each event is printed to
 // stderr as one JSON line the moment the simulator emits it (the same
@@ -33,9 +42,11 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
-	"safesense/internal/attack"
+	"safesense/internal/campaign"
+	"safesense/internal/obs/forensic"
 	"safesense/internal/sim"
 	"safesense/internal/trace"
 )
@@ -55,14 +66,31 @@ func main() {
 	height := flag.Int("height", 20, "plot height")
 	timing := flag.Bool("timing", false, "print the per-phase timing breakdown next to the summary")
 	profileDir := flag.String("profile-dir", "", "write cpu.pprof and heap.pprof for this run into DIR")
+	forensicDir := flag.String("forensic-dir", "", "persist a forensic capture of the run into this anomaly store directory and print its hash")
+	replayHash := flag.String("replay", "", "replay the capture with this hash from -forensic-dir and diff its flight timeline (exit 1 on divergence)")
 	flag.Parse()
 
+	if *replayHash != "" {
+		if *forensicDir == "" {
+			fmt.Fprintln(os.Stderr, "safesim: -replay requires -forensic-dir")
+			os.Exit(2)
+		}
+		identical, err := runReplay(*forensicDir, *replayHash)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "safesim:", err)
+			os.Exit(1)
+		}
+		if !identical {
+			os.Exit(1)
+		}
+		return
+	}
 	if err := validateFlags(*attackKind, *leader, *steps, *onset, *offset, *width, *height); err != nil {
 		fmt.Fprintln(os.Stderr, "safesim:", err)
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*attackKind, *leader, *csvPath, *eventsPath, *profileDir, *defended, *timing, *follow, *steps, *seed, *offset, *onset, *width, *height); err != nil {
+	if err := run(*attackKind, *leader, *csvPath, *eventsPath, *profileDir, *forensicDir, *defended, *timing, *follow, *steps, *seed, *offset, *onset, *width, *height); err != nil {
 		fmt.Fprintln(os.Stderr, "safesim:", err)
 		os.Exit(1)
 	}
@@ -99,32 +127,26 @@ func validateFlags(attackKind, leader string, steps, onset int, offset float64, 
 	return nil
 }
 
-func run(attackKind, leader, csvPath, eventsPath, profileDir string, defended, timing, follow bool, steps int, seed int64, offset float64, onset, width, height int) error {
-	var s sim.Scenario
-	switch leader {
-	case "const":
-		s = sim.Fig2aDoS()
-	case "phased":
-		s = sim.Fig3aDoS()
-	default:
-		return fmt.Errorf("unknown leader profile %q", leader)
+func run(attackKind, leader, csvPath, eventsPath, profileDir, forensicDir string, defended, timing, follow bool, steps int, seed int64, offset float64, onset, width, height int) error {
+	// The scenario is built through a campaign.Point so a -forensic-dir
+	// capture replays through the exact same construction path (the CLI
+	// vocabulary for attacks and leaders matches the campaign's).
+	point := campaign.Point{
+		Attack:   attackKind,
+		Leader:   leader,
+		Onset:    onset,
+		Steps:    steps,
+		Seed:     seed,
+		Defended: defended,
 	}
-	s.Steps = steps
-	s.Seed = seed
-	s.Defended = defended
+	if attackKind == "delay" {
+		point.OffsetM = offset
+	}
+	s, err := point.Scenario()
+	if err != nil {
+		return err
+	}
 	s.Name = fmt.Sprintf("safesim-%s-%s", attackKind, leader)
-
-	window := attack.Window{Start: onset, End: steps - 1}
-	switch attackKind {
-	case "none":
-		s.Attack = sim.AttackSpec{Kind: sim.NoAttack}
-	case "dos":
-		s.Attack = sim.AttackSpec{Kind: sim.DoSAttack, Window: window, Jammer: attack.PaperJammer()}
-	case "delay":
-		s.Attack = sim.AttackSpec{Kind: sim.DelayAttack, Window: window, OffsetM: offset}
-	default:
-		return fmt.Errorf("unknown attack %q", attackKind)
-	}
 
 	stopProfiles, err := startProfiles(profileDir)
 	if err != nil {
@@ -177,7 +199,78 @@ func run(attackKind, leader, csvPath, eventsPath, profileDir string, defended, t
 			return err
 		}
 	}
+	if forensicDir != "" {
+		if err := writeCapture(forensicDir, point, res); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writeCapture persists a forensic capture of the finished run into the
+// anomaly store at dir and prints its content hash. Runs without any
+// recorded anomaly are tagged "manual" — the CLI user asked for the
+// evidence, so the store keeps it (at the lowest eviction priority).
+func writeCapture(dir string, p campaign.Point, res *sim.Result) error {
+	store, err := forensic.Open(forensic.Options{Dir: dir})
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	kinds := res.AnomalyKinds()
+	if len(kinds) == 0 {
+		kinds = []string{forensic.KindManual}
+	}
+	c, err := campaign.CaptureOf("safesim", "", campaign.Job{Point: p}, res, kinds)
+	if err != nil {
+		return err
+	}
+	hash, stored, err := store.Put(c)
+	if err != nil {
+		return err
+	}
+	if !stored {
+		fmt.Printf("forensic capture %s (already stored)\n", hash)
+		return nil
+	}
+	fmt.Printf("forensic capture %s (%s)\n", hash, strings.Join(kinds, ","))
+	return nil
+}
+
+// runReplay re-runs a stored capture and diffs its flight timeline,
+// reporting whether the run reproduced bit-for-bit.
+func runReplay(dir, hash string) (bool, error) {
+	store, err := forensic.Open(forensic.Options{Dir: dir})
+	if err != nil {
+		return false, err
+	}
+	defer store.Close()
+	c, ok := store.Get(hash)
+	if !ok {
+		return false, fmt.Errorf("no capture %q in %s", hash, dir)
+	}
+	rep, err := campaign.ReplayDiff(context.Background(), hash, c)
+	if err != nil {
+		return false, err
+	}
+	fmt.Printf("replay %s: %s (%s, seed=%d)\n",
+		hash, map[bool]string{true: "IDENTICAL", false: "DIVERGED"}[rep.Identical],
+		c.Label, c.Seed)
+	fmt.Printf("  stored events: %d, fresh events: %d, detected_at=%d, collision_at=%d\n",
+		rep.StoredEvents, rep.FreshEvents, rep.DetectedAt, rep.CollisionAt)
+	for _, d := range rep.Diffs {
+		fmt.Printf("  diff @%d: stored=%s fresh=%s\n", d.Index, diffEvent(d.Stored), diffEvent(d.Fresh))
+	}
+	return rep.Identical, nil
+}
+
+// diffEvent renders one side of a timeline diff ("-" when that side has
+// no event at the index).
+func diffEvent(ev *sim.FlightEvent) string {
+	if ev == nil {
+		return "-"
+	}
+	return fmt.Sprintf("{k=%d %s %.6g %s}", ev.K, ev.Kind, ev.Value, ev.Detail)
 }
 
 // startProfiles begins a CPU profile in dir and returns a stop function

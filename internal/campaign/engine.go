@@ -44,6 +44,12 @@ type Options struct {
 	// keeping only the aggregate — for very large campaigns where the
 	// O(jobs) payload is unwanted.
 	DiscardOutcomes bool
+	// Forensic, when non-nil with a Sink, enables forensic capture:
+	// every job whose Result carries anomaly dumps (plus latency
+	// outliers beyond the configured percentile) is projected onto a
+	// forensic.Capture and handed to the sink, concurrently from the
+	// pool workers. See ForensicOptions.
+	Forensic *ForensicOptions
 	// Log receives the engine's structured records. Every record carries
 	// the job's index and seed, so log lines from concurrent sweeps can
 	// be tied back to a reproducible scenario. Nil discards.
@@ -246,11 +252,15 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Summary, error) {
 		}
 	}
 
-	outcomes, err := runPool(ctx, jobs, workers, logger, func(o Outcome, jobTime time.Duration) {
+	capt := newRunCapturer(opt, spec)
+	outcomes, err := runPool(ctx, jobs, workers, logger, func(o Outcome, j Job, res *sim.Result, jobTime time.Duration) {
 		slowest.insert(JobTiming{
 			Index: o.Index, Seed: o.Point.Seed,
 			Label: o.Label, Seconds: jobTime.Seconds(),
 		})
+		if capt != nil {
+			capt.observe(j, res, jobTime)
+		}
 		report(o)
 	})
 	if err != nil {
@@ -295,11 +305,11 @@ func RunJobs(ctx context.Context, jobs []Job, opt Options) ([]Outcome, error) {
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	var onDone func(Outcome, time.Duration)
+	var report func(Outcome)
 	if opt.OnProgress != nil || opt.OnOutcome != nil {
 		var mu sync.Mutex
 		done := 0
-		onDone = func(o Outcome, _ time.Duration) {
+		report = func(o Outcome) {
 			mu.Lock()
 			defer mu.Unlock()
 			done++
@@ -311,6 +321,18 @@ func RunJobs(ctx context.Context, jobs []Job, opt Options) ([]Outcome, error) {
 			}
 		}
 	}
+	capt := newJobsCapturer(opt)
+	var onDone func(Outcome, Job, *sim.Result, time.Duration)
+	if report != nil || capt != nil {
+		onDone = func(o Outcome, j Job, res *sim.Result, jobTime time.Duration) {
+			if capt != nil {
+				capt.observe(j, res, jobTime)
+			}
+			if report != nil {
+				report(o)
+			}
+		}
+	}
 	return runPool(ctx, jobs, workers, logger, onDone)
 }
 
@@ -318,8 +340,11 @@ func RunJobs(ctx context.Context, jobs []Job, opt Options) ([]Outcome, error) {
 // expanded grid) and RunJobs (an arbitrary job sublist). Outcomes are
 // written by list position, so the result order always matches the input
 // order; a failing job cancels the pool and surfaces the first error.
-// onDone, when non-nil, is called concurrently after every successful job.
-func runPool(ctx context.Context, jobs []Job, workers int, logger *slog.Logger, onDone func(Outcome, time.Duration)) ([]Outcome, error) {
+// onDone, when non-nil, is called concurrently after every successful job
+// with the outcome, the job, the full sim result (valid only for the
+// duration of the call's use — the engine itself retains nothing), and
+// the job's wall time.
+func runPool(ctx context.Context, jobs []Job, workers int, logger *slog.Logger, onDone func(Outcome, Job, *sim.Result, time.Duration)) ([]Outcome, error) {
 	type feedItem struct {
 		pos int
 		job Job
@@ -371,7 +396,7 @@ func runPool(ctx context.Context, jobs []Job, workers int, logger *slog.Logger, 
 							"job", j.Index, "seed", j.Point.Seed,
 							"duration_ms", float64(jobTime.Nanoseconds())/1e6)
 						if onDone != nil {
-							onDone(outcomes[it.pos], jobTime)
+							onDone(outcomes[it.pos], j, res, jobTime)
 						}
 						continue
 					}

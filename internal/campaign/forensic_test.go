@@ -1,0 +1,166 @@
+package campaign
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"safesense/internal/obs/forensic"
+	"safesense/internal/sim"
+)
+
+// undefendedDoSSpec is a sweep that reliably produces a collision:
+// with the CRA+RLS pipeline off, the DoS hold-last-measurement
+// behavior drives the follower into the leader shortly after onset
+// (verified: onset 150, seed base 7 collides around k=157).
+func undefendedDoSSpec() Spec {
+	off := false
+	return Spec{
+		Name:     "forensic-test",
+		Steps:    200,
+		BaseSeed: 7,
+		Defended: &off,
+		Attacks:  []string{AttackDoS},
+		Onsets:   []int{150},
+	}
+}
+
+func TestSpecHashCanonical(t *testing.T) {
+	a := Spec{Name: "s"}
+	if a.Hash() != a.Hash() {
+		t.Fatal("Spec.Hash is not stable")
+	}
+	// Hash is over the defaults-applied spec: spelling out a default
+	// must not move the address.
+	b := Spec{Name: "s", Steps: 301, BaseSeed: 1, Replicates: 1, Attacks: []string{AttackDoS}}
+	if a.Hash() != b.Hash() {
+		t.Error("explicit defaults changed the spec hash")
+	}
+	c := Spec{Name: "s", Onsets: []int{150}}
+	if a.Hash() == c.Hash() {
+		t.Error("different grids hash identically")
+	}
+}
+
+func TestRunCapturesAnomalies(t *testing.T) {
+	var mu sync.Mutex
+	var caps []forensic.Capture
+	spec := undefendedDoSSpec()
+	sum, err := Run(context.Background(), spec, Options{
+		Workers: 2,
+		Forensic: &ForensicOptions{
+			Sink: func(c forensic.Capture) {
+				mu.Lock()
+				caps = append(caps, c)
+				mu.Unlock()
+			},
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sum.Aggregate.Collisions == 0 {
+		t.Fatal("undefended DoS sweep produced no collisions; the capture test needs one")
+	}
+	if len(caps) == 0 {
+		t.Fatal("no forensic captures from a collision-bearing sweep")
+	}
+	c := caps[0]
+	if c.SpecHash != spec.Hash() {
+		t.Errorf("capture spec hash %q, want %q (Run must default it)", c.SpecHash, spec.Hash())
+	}
+	if c.Campaign != spec.Name {
+		t.Errorf("capture campaign %q, want spec name %q", c.Campaign, spec.Name)
+	}
+	if forensic.PrimaryKind(c) != sim.AnomalyCollision {
+		t.Errorf("capture primary kind %q, want collision", forensic.PrimaryKind(c))
+	}
+	if err := forensic.ValidateCapture(c); err != nil {
+		t.Errorf("engine emitted an invalid capture: %v", err)
+	}
+}
+
+func TestLatencyOutlierWindow(t *testing.T) {
+	c := newCapturer(ForensicOptions{LatencyOutlierPct: 90})
+	// Warmup: nothing is an outlier before minLatencySamples.
+	for i := 0; i < minLatencySamples; i++ {
+		if c.latencyOutlier(time.Hour) {
+			t.Fatalf("outlier flagged during warmup (sample %d)", i)
+		}
+	}
+	// After warmup, a duration far past the window's p90 is flagged...
+	if !c.latencyOutlier(2 * time.Hour) {
+		t.Error("2h job not an outlier over a 1h-flat window")
+	}
+	// ...and one at the floor of the distribution is not.
+	if c.latencyOutlier(time.Millisecond) {
+		t.Error("1ms job flagged as outlier over a 1h-flat window")
+	}
+
+	// Disabled percentile never captures.
+	off := newCapturer(ForensicOptions{})
+	for i := 0; i < minLatencySamples+1; i++ {
+		if off.latencyOutlier(time.Duration(i) * time.Second) {
+			t.Fatal("outlier flagged with latency capture disabled")
+		}
+	}
+}
+
+func TestReplayDiffIdenticalAndTampered(t *testing.T) {
+	var mu sync.Mutex
+	var caps []forensic.Capture
+	_, err := Run(context.Background(), undefendedDoSSpec(), Options{
+		Workers: 2,
+		Forensic: &ForensicOptions{Sink: func(c forensic.Capture) {
+			mu.Lock()
+			caps = append(caps, c)
+			mu.Unlock()
+		}},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(caps) == 0 {
+		t.Fatal("no captures to replay")
+	}
+	c := caps[0]
+	hash, err := c.Hash()
+	if err != nil {
+		t.Fatalf("Hash: %v", err)
+	}
+
+	rep, err := ReplayDiff(context.Background(), hash, c)
+	if err != nil {
+		t.Fatalf("ReplayDiff: %v", err)
+	}
+	if !rep.Identical {
+		t.Fatalf("fresh capture did not replay identically: %+v", rep.Diffs)
+	}
+	if rep.Hash != hash || rep.StoredEvents != len(c.Flight) || rep.FreshEvents != len(c.Flight) {
+		t.Errorf("replay report fields off: %+v", rep)
+	}
+	if rep.CollisionAt < 0 {
+		t.Error("replaying a collision capture reported no collision")
+	}
+
+	// A tampered timeline is a determinism violation the diff must catch.
+	tampered := c
+	tampered.Flight = append([]sim.FlightEvent(nil), c.Flight...)
+	tampered.Flight[0].Value += 0.5
+	rep2, err := ReplayDiff(context.Background(), hash, tampered)
+	if err != nil {
+		t.Fatalf("ReplayDiff(tampered): %v", err)
+	}
+	if rep2.Identical || len(rep2.Diffs) == 0 {
+		t.Error("tampered capture replayed as identical")
+	}
+
+	// A capture whose point seed disagrees with the capture seed is
+	// rejected before any simulation runs.
+	bad := c
+	bad.Seed = c.Seed + 1
+	if _, err := ReplayDiff(context.Background(), hash, bad); err == nil {
+		t.Error("seed-mismatched capture replayed without error")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"safesense/internal/campaign"
+	"safesense/internal/obs/forensic"
 	"safesense/internal/obs/stream"
 	obstrace "safesense/internal/obs/trace"
 )
@@ -39,8 +40,13 @@ type Config struct {
 	// Log receives lease-lifecycle records (nil discards).
 	Log *slog.Logger
 	// Traces is the span store campaign trace roots are minted from
-	// (nil means trace.Default()).
+	// (nil means trace.Default()). Worker span batches shipped with lease
+	// completions are imported here, stitching the cross-node trace tree.
 	Traces *obstrace.Store
+	// Forensic is the store worker-shipped anomaly captures merge into
+	// (nil discards captures). Merging is idempotent by content hash, so
+	// re-leased shards and resubmitted sweeps cannot double-store.
+	Forensic *forensic.Store
 	// Streams is the broadcast hub live campaign events are published
 	// to, one topic per campaign ID (nil disables streaming; every
 	// publish is non-blocking, so a slow or absent subscriber never
@@ -133,6 +139,7 @@ type dcampaign struct {
 	merged     campaign.Partial
 	workers    map[string]*workerProgress
 	events     []Event
+	captures   int // forensic captures newly stored for this campaign
 
 	createdAt time.Time
 	status    string
@@ -396,6 +403,10 @@ func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 	wp.jobsDone += req.Partial.Jobs
 	wp.leasesDone++
 	c.appendEventsLocked(d, req.Events)
+	c.mergeCapturesLocked(d, req.Captures)
+	if len(req.Spans) > 0 {
+		c.cfg.Traces.Import(req.Spans)
+	}
 	c.publishLeaseLocked(d, ref.shard, sh, leaseCompleted)
 	sh.worker = ""
 	c.publishProgressLocked(d)
@@ -465,6 +476,30 @@ func (c *Coordinator) appendEventsLocked(d *dcampaign, evs []Event) {
 	}
 }
 
+// mergeCapturesLocked persists a completion's forensic captures,
+// relabeled with the coordinator's campaign ID. The store dedups by
+// content hash — and the hash excludes campaign metadata — so a shard
+// completed twice (re-lease, retry) or the same sweep resubmitted under
+// a new ID stores each anomaly exactly once. Callers hold c.mu.
+func (c *Coordinator) mergeCapturesLocked(d *dcampaign, captures []forensic.Capture) {
+	if c.cfg.Forensic == nil {
+		return
+	}
+	for _, fc := range captures {
+		fc.Campaign = d.id
+		hash, stored, err := c.cfg.Forensic.Put(fc)
+		if err != nil {
+			c.cfg.Log.Warn("dist capture rejected", "campaign", d.id, "err", err)
+			continue
+		}
+		if stored {
+			d.captures++
+			c.cfg.Log.Info("dist capture stored",
+				"campaign", d.id, "job", fc.JobIndex, "hash", hash, "kinds", fc.Kinds)
+		}
+	}
+}
+
 // touchWorkerLocked bumps a worker's last-seen time. Callers hold c.mu.
 func (c *Coordinator) touchWorkerLocked(d *dcampaign, workerID string, now time.Time) *workerProgress {
 	wp := d.workers[workerID]
@@ -507,6 +542,7 @@ type Status struct {
 	Workers        []WorkerStatus    `json:"workers,omitempty"`
 	LeaseTable     []LeaseStatus     `json:"lease_table,omitempty"`
 	Events         []Event           `json:"events,omitempty"`
+	Captures       int               `json:"captures,omitempty"`
 	ElapsedSeconds float64           `json:"elapsed_seconds"`
 	Summary        *campaign.Summary `json:"summary,omitempty"`
 }
@@ -529,6 +565,7 @@ func (c *Coordinator) CampaignStatus(id string) (Status, bool) {
 		Leases:     len(d.shards),
 		DoneLeases: d.doneShards,
 		Events:     append([]Event(nil), d.events...),
+		Captures:   d.captures,
 		Summary:    d.summary,
 	}
 	if d.summary != nil {

@@ -47,6 +47,8 @@ import (
 	"io"
 
 	"safesense/internal/campaign"
+	"safesense/internal/obs/forensic"
+	"safesense/internal/obs/trace"
 )
 
 // Wire-format bounds. Decoders enforce them so a hostile or buggy peer
@@ -60,6 +62,14 @@ const (
 	// MaxCompleteEvents bounds the flight events one completion may
 	// forward; workers truncate, decoders reject beyond it.
 	MaxCompleteEvents = 64
+	// MaxCompleteCaptures bounds the forensic captures one completion may
+	// ship. Workers keep the highest-priority captures when a shard
+	// produces more (collisions outlive gap noise); decoders reject
+	// payloads beyond the cap.
+	MaxCompleteCaptures = 16
+	// MaxCompleteSpans bounds the trace spans one completion may ship for
+	// cross-node trace stitching.
+	MaxCompleteSpans = 128
 	// maxLeaseIDLen bounds lease tokens on the wire.
 	maxLeaseIDLen = 128
 )
@@ -135,12 +145,18 @@ type ProgressResponse struct {
 }
 
 // CompleteRequest delivers a finished shard: the mergeable partial
-// aggregate plus the shard's notable flight events.
+// aggregate plus the shard's notable flight events, forensic anomaly
+// captures, and the worker-side trace spans of the lease. Captures and
+// spans are observability sidecars — the coordinator merges them
+// idempotently (content hash, span identity) and they never influence
+// the aggregate, so the byte-identity oracle is untouched.
 type CompleteRequest struct {
-	LeaseID  string           `json:"lease_id"`
-	WorkerID string           `json:"worker_id"`
-	Partial  campaign.Partial `json:"partial"`
-	Events   []Event          `json:"events,omitempty"`
+	LeaseID  string             `json:"lease_id"`
+	WorkerID string             `json:"worker_id"`
+	Partial  campaign.Partial   `json:"partial"`
+	Events   []Event            `json:"events,omitempty"`
+	Captures []forensic.Capture `json:"captures,omitempty"`
+	Spans    []trace.SpanRecord `json:"spans,omitempty"`
 }
 
 // CompleteResponse acknowledges a completion. Duplicate reports that
@@ -278,6 +294,17 @@ func DecodeComplete(data []byte) (CompleteRequest, error) {
 	}
 	if len(req.Events) > MaxCompleteEvents {
 		return CompleteRequest{}, fmt.Errorf("dist: %d events exceed the %d-event cap", len(req.Events), MaxCompleteEvents)
+	}
+	if len(req.Captures) > MaxCompleteCaptures {
+		return CompleteRequest{}, fmt.Errorf("dist: %d captures exceed the %d-capture cap", len(req.Captures), MaxCompleteCaptures)
+	}
+	for i, c := range req.Captures {
+		if err := forensic.ValidateCapture(c); err != nil {
+			return CompleteRequest{}, fmt.Errorf("dist: capture %d: %w", i, err)
+		}
+	}
+	if len(req.Spans) > MaxCompleteSpans {
+		return CompleteRequest{}, fmt.Errorf("dist: %d spans exceed the %d-span cap", len(req.Spans), MaxCompleteSpans)
 	}
 	return req, nil
 }

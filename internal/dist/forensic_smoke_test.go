@@ -1,0 +1,211 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"safesense/internal/campaign"
+	"safesense/internal/obs/forensic"
+	obstrace "safesense/internal/obs/trace"
+	"safesense/internal/sim"
+)
+
+// forensicSmokeSpec is a sweep that reliably collides: undefended DoS
+// holds the last pre-attack measurement, so the follower closes the gap
+// shortly after onset regardless of seed.
+func forensicSmokeSpec() campaign.Spec {
+	off := false
+	return campaign.Spec{
+		Name:       "forensic-smoke",
+		Steps:      200,
+		BaseSeed:   7,
+		Replicates: 8,
+		Defended:   &off,
+		Attacks:    []string{"dos"},
+		Onsets:     []int{150},
+	}
+}
+
+// TestForensicSmoke is the CI anomaly-forensics gate (`make
+// forensic-smoke`): two workers shard a collision-bearing sweep; the
+// coordinator must persist the worker-shipped captures in its forensic
+// store (relabeled to its campaign ID), replaying a stored capture must
+// reproduce the flight timeline bit-for-bit, resubmitting the same
+// sweep must dedup to zero new captures, worker-side lease spans must
+// be stitched into the coordinator's trace store, and the merged
+// aggregate must stay byte-identical to the single-node oracle.
+func TestForensicSmoke(t *testing.T) {
+	fstore, err := forensic.Open(forensic.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("forensic.Open: %v", err)
+	}
+	defer fstore.Close()
+	coordTraces := obstrace.NewStore(4096)
+
+	coord := NewCoordinator(Config{
+		LeaseJobs: 2,
+		LeaseTTL:  time.Minute,
+		Clock:     newFakeClock().Now,
+		Traces:    coordTraces,
+		Forensic:  fstore,
+	})
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	spec := forensicSmokeSpec()
+	submit := func() Status {
+		t.Helper()
+		body, err := json.Marshal(SubmitRequest{Spec: spec})
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		res, err := http.Post(srv.URL+"/v1/dist/campaigns", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		var sub SubmitResponse
+		err = json.NewDecoder(res.Body).Decode(&sub)
+		res.Body.Close()
+		if err != nil {
+			t.Fatalf("decode submit: %v", err)
+		}
+		var st Status
+		for poll := 0; ; poll++ {
+			res, err := http.Get(srv.URL + "/v1/dist/campaigns/" + sub.ID)
+			if err != nil {
+				t.Fatalf("status: %v", err)
+			}
+			err = json.NewDecoder(res.Body).Decode(&st)
+			res.Body.Close()
+			if err != nil {
+				t.Fatalf("decode status: %v", err)
+			}
+			if st.Status == StatusDone {
+				return st
+			}
+			if poll > 24000 {
+				t.Fatalf("campaign did not finish: %+v", st)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		w, err := NewWorker(WorkerConfig{
+			Coordinator:  srv.URL,
+			ID:           fmt.Sprintf("forensic%d", i),
+			Jobs:         2,
+			PollInterval: 5 * time.Millisecond,
+			Traces:       obstrace.NewStore(4096), // worker-local; spans only reach coordTraces via stitching
+		})
+		if err != nil {
+			t.Fatalf("NewWorker: %v", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = w.Run(ctx)
+		}()
+	}
+
+	st := submit()
+
+	// The distributed aggregate must stay byte-identical to the
+	// single-node oracle: captures and spans are sidecars, never inputs.
+	if st.Summary == nil {
+		t.Fatal("done campaign has no summary")
+	}
+	got, err := json.Marshal(st.Summary.Aggregate)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if want := oracleAggregate(t, spec); !bytes.Equal(got, want) {
+		t.Fatalf("distributed aggregate diverges from single-node oracle\n got: %s\nwant: %s", got, want)
+	}
+	if st.Summary.Aggregate.Collisions == 0 {
+		t.Fatal("undefended DoS sweep produced no collisions; the smoke needs them")
+	}
+
+	// Worker-shipped captures landed in the coordinator's store,
+	// relabeled to the coordinator's campaign ID.
+	if st.Captures == 0 {
+		t.Fatal("campaign status reports zero stored captures")
+	}
+	metas, total := fstore.List(forensic.Query{Campaign: st.ID})
+	if total == 0 || len(metas) == 0 {
+		t.Fatalf("no captures listed for campaign %s (store has %d)", st.ID, fstore.Len())
+	}
+	if total != st.Captures {
+		t.Errorf("store lists %d captures for %s, status says %d", total, st.ID, st.Captures)
+	}
+	collisions, _ := fstore.List(forensic.Query{Campaign: st.ID, Kind: sim.AnomalyCollision})
+	if len(collisions) == 0 {
+		t.Fatal("no collision-kind captures for a colliding sweep")
+	}
+	wantSpec := spec.Hash()
+	for _, m := range metas {
+		if m.SpecHash != wantSpec {
+			t.Errorf("capture %s spec hash %q, want %q", m.Hash, m.SpecHash, wantSpec)
+		}
+	}
+
+	// Replay a stored capture: the determinism invariant must hold
+	// bit-for-bit through the worker -> wire -> store round trip.
+	cap0, ok := fstore.Get(collisions[0].Hash)
+	if !ok {
+		t.Fatalf("Get(%s) missing", collisions[0].Hash)
+	}
+	rep, err := campaign.ReplayDiff(context.Background(), collisions[0].Hash, cap0)
+	if err != nil {
+		t.Fatalf("ReplayDiff: %v", err)
+	}
+	if !rep.Identical {
+		t.Fatalf("stored capture did not replay identically: %+v", rep.Diffs)
+	}
+	if rep.CollisionAt < 0 {
+		t.Error("replayed collision capture reported no collision")
+	}
+
+	// Cross-node trace stitching: the workers used their own span
+	// stores, so lease spans can only appear under the coordinator's
+	// campaign trace via the completion-time span batches.
+	stitched := false
+	for _, rec := range coordTraces.Trace(st.TraceID) {
+		if rec.Name == "dist.lease" {
+			stitched = true
+			break
+		}
+	}
+	if !stitched {
+		t.Errorf("no worker lease span stitched into coordinator trace %s", st.TraceID)
+	}
+
+	// Resubmitting the same sweep federates onto the same content
+	// addresses: the second campaign stores nothing new.
+	before := fstore.Len()
+	st2 := submit()
+	if st2.ID == st.ID {
+		t.Fatalf("resubmission reused campaign ID %s", st.ID)
+	}
+	if st2.Captures != 0 {
+		t.Errorf("resubmitted sweep stored %d new captures, want 0 (dedup)", st2.Captures)
+	}
+	if after := fstore.Len(); after != before {
+		t.Errorf("store grew %d -> %d on a resubmitted sweep", before, after)
+	}
+
+	cancel()
+	wg.Wait()
+	t.Logf("forensic smoke: %d captures (%d collisions) for %s, replay identical, resubmission deduped",
+		st.Captures, len(collisions), st.ID)
+}

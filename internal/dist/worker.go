@@ -9,10 +9,13 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"safesense/internal/campaign"
+	"safesense/internal/obs/forensic"
 	obstrace "safesense/internal/obs/trace"
 )
 
@@ -161,6 +164,13 @@ func (w *Worker) acquire(ctx context.Context) (AcquireResponse, bool, error) {
 // shard's flight events.
 func (w *Worker) execute(ctx context.Context, lease AcquireResponse) error {
 	start := wallClock()
+	// Remember which of this trace's spans are already stored: the
+	// campaign trace ID is shared by every lease of the campaign, so the
+	// completion must ship only the spans this lease adds.
+	before := make(map[string]struct{})
+	for _, rec := range w.cfg.Traces.Trace(lease.TraceID) {
+		before[rec.SpanID] = struct{}{}
+	}
 	leaseCtx, span := w.cfg.Traces.Root(ctx, "dist.lease", lease.TraceID)
 	defer span.End()
 	if span.Sampled() {
@@ -186,9 +196,19 @@ func (w *Worker) execute(ctx context.Context, lease AcquireResponse) error {
 	defer cancelRun()
 	stopRenew := w.renewLoop(runCtx, lease, cancelRun)
 
+	// Captures stay anomaly-only on workers (no latency-outlier kind):
+	// anomaly captures are deterministic, so the coordinator's
+	// hash-dedup collapses re-leased and retried shards to one stored
+	// copy per incident.
+	collector := &captureCollector{}
 	opts := campaign.Options{
 		Workers: w.cfg.Jobs,
 		Log:     w.cfg.Log.With("campaign", lease.Campaign, "lease", lease.LeaseID),
+		Forensic: &campaign.ForensicOptions{
+			Sink:     collector.add,
+			Campaign: lease.Campaign,
+			SpecHash: lease.Spec.Hash(),
+		},
 	}
 	var reporter *progressReporter
 	stopProgress := func() {}
@@ -212,11 +232,27 @@ func (w *Worker) execute(ctx context.Context, lease AcquireResponse) error {
 	if reporter != nil {
 		events = reporter.remainingEvents(events)
 	}
+	// Close the lease span now (End is idempotent; the defer becomes a
+	// no-op) so it flushes into the store and ships with the completion —
+	// the coordinator stitches it under the campaign root.
+	span.End()
+	var spans []obstrace.SpanRecord
+	for _, rec := range w.cfg.Traces.Trace(lease.TraceID) {
+		if _, ok := before[rec.SpanID]; ok {
+			continue
+		}
+		spans = append(spans, rec)
+		if len(spans) == MaxCompleteSpans {
+			break
+		}
+	}
 	req := CompleteRequest{
 		LeaseID:  lease.LeaseID,
 		WorkerID: w.cfg.ID,
 		Partial:  campaign.PartialOfOutcomes(outcomes),
 		Events:   events,
+		Captures: collector.take(),
+		Spans:    spans,
 	}
 	var resp CompleteResponse
 	if err := w.completeWithRetry(ctx, req, &resp, lease.TraceID); err != nil {
@@ -227,6 +263,57 @@ func (w *Worker) execute(ctx context.Context, lease AcquireResponse) error {
 		"lease", lease.LeaseID, "campaign", lease.Campaign, "jobs", len(shard),
 		"duplicate", resp.Duplicate, "campaign_done", resp.CampaignDone)
 	return nil
+}
+
+// captureCollector accumulates a lease's forensic captures under the
+// MaxCompleteCaptures wire cap. When a shard produces more, the
+// lowest-priority resident is displaced by a higher-priority newcomer,
+// so collisions outlive gap noise — the same policy the store's
+// eviction applies. Pool workers call add concurrently.
+type captureCollector struct {
+	mu   sync.Mutex
+	caps []forensic.Capture
+}
+
+// capturePriority ranks a capture by its most severe kind.
+func capturePriority(c forensic.Capture) int {
+	p := 0
+	for _, k := range c.Kinds {
+		if kp := forensic.KindPriority(k); kp > p {
+			p = kp
+		}
+	}
+	return p
+}
+
+func (cc *captureCollector) add(c forensic.Capture) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if len(cc.caps) < MaxCompleteCaptures {
+		cc.caps = append(cc.caps, c)
+		return
+	}
+	low := 0
+	for i := 1; i < len(cc.caps); i++ {
+		if capturePriority(cc.caps[i]) < capturePriority(cc.caps[low]) {
+			low = i
+		}
+	}
+	if capturePriority(c) > capturePriority(cc.caps[low]) {
+		cc.caps[low] = c
+	}
+}
+
+// take returns the collected captures ordered by job index — pool
+// completion order is racy, so the wire payload is re-sorted into the
+// deterministic grid order.
+func (cc *captureCollector) take() []forensic.Capture {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	caps := cc.caps
+	cc.caps = nil
+	sort.Slice(caps, func(i, j int) bool { return caps[i].JobIndex < caps[j].JobIndex })
+	return caps
 }
 
 // jobsFor expands the lease's spec, caching the grid per campaign so a

@@ -40,6 +40,11 @@ var Determinism = &Analyzer{
 		// campaign callbacks): it must never consult a wall clock or
 		// iterate maps into the wire — event order is the publish order.
 		"internal/obs/stream",
+		// The forensic store's dedup hashes and eviction order must be
+		// reproducible across nodes and restarts: recency is a logical
+		// sequence counter (never wall time) and listings sort before
+		// they serialize.
+		"internal/obs/forensic",
 	},
 	Run: runDeterminism,
 }

@@ -1,0 +1,310 @@
+package forensic
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"safesense/internal/sim"
+)
+
+// putCapture stores a test capture and returns its hash, failing the
+// test on error or unexpected dedup.
+func putCapture(t *testing.T, s *Store, c Capture, wantStored bool) string {
+	t.Helper()
+	hash, stored, err := s.Put(c)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if stored != wantStored {
+		t.Fatalf("Put stored=%v, want %v", stored, wantStored)
+	}
+	return hash
+}
+
+func TestStorePutGetDedup(t *testing.T) {
+	s, err := Open(Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+
+	c := testCapture(1)
+	h1 := putCapture(t, s, c, true)
+
+	// Identical content dedups even when metadata differs.
+	dup := testCapture(1)
+	dup.Campaign = "c777777"
+	h2 := putCapture(t, s, dup, false)
+	if h1 != h2 {
+		t.Fatalf("dedup returned different hash: %s vs %s", h2, h1)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after dedup, want 1", s.Len())
+	}
+
+	got, ok := s.Get(h1)
+	if !ok {
+		t.Fatalf("Get(%s) missing", h1)
+	}
+	if got.Seed != c.Seed || got.Campaign != c.Campaign {
+		t.Fatalf("Get returned %+v, want the first-put capture", got)
+	}
+	if _, ok := s.Get("no-such-hash"); ok {
+		t.Fatal("Get of unknown hash succeeded")
+	}
+
+	if _, _, err := s.Put(Capture{Schema: CaptureSchema}); err == nil {
+		t.Fatal("Put of invalid capture succeeded")
+	}
+}
+
+func TestStoreEvictionPriority(t *testing.T) {
+	// Budget sized for roughly three captures: low-priority kinds must
+	// be evicted first, the collision must survive.
+	probe, _ := json.Marshal(segRecord{Op: opPut, Hash: "x", Capture: func() *Capture { c := testCapture(0); return &c }()})
+	budget := int64(3*len(probe) + 200)
+	s, err := Open(Options{BudgetBytes: budget})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+
+	collision := putCapture(t, s, testCapture(1, sim.AnomalyCollision), true)
+	manual := putCapture(t, s, testCapture(2, KindManual), true)
+	fp := putCapture(t, s, testCapture(3, sim.AnomalyFalsePositive), true)
+	putCapture(t, s, testCapture(4, sim.AnomalyFalseNegative), true)
+	putCapture(t, s, testCapture(5, sim.AnomalyFalseNegative), true)
+
+	if s.LiveBytes() > budget {
+		t.Fatalf("LiveBytes %d over budget %d", s.LiveBytes(), budget)
+	}
+	if _, ok := s.Get(collision); !ok {
+		t.Error("collision capture evicted before lower-priority kinds")
+	}
+	if _, ok := s.Get(manual); ok {
+		t.Error("manual capture survived while the store was over budget")
+	}
+	if _, ok := s.Get(fp); ok {
+		t.Error("false_positive survived ahead of higher-priority captures")
+	}
+}
+
+func TestStoreEvictionRecency(t *testing.T) {
+	probe, _ := json.Marshal(segRecord{Op: opPut, Hash: "x", Capture: func() *Capture { c := testCapture(0); return &c }()})
+	budget := int64(2*len(probe) + 150)
+	s, err := Open(Options{BudgetBytes: budget})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+
+	// Equal priority: the least recently touched capture is the victim.
+	first := putCapture(t, s, testCapture(1), true)
+	second := putCapture(t, s, testCapture(2), true)
+	if _, ok := s.Get(first); !ok { // bump first's recency above second's
+		t.Fatal("first capture missing before eviction")
+	}
+	putCapture(t, s, testCapture(3), true)
+
+	if _, ok := s.Get(first); !ok {
+		t.Error("recently-read capture was evicted")
+	}
+	if _, ok := s.Get(second); ok {
+		t.Error("least-recently-used capture survived")
+	}
+}
+
+func TestStorePersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	h1 := putCapture(t, s, testCapture(1), true)
+	h2 := putCapture(t, s, testCapture(2, sim.AnomalyFalsePositive), true)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if s2.Len() != 2 {
+		t.Fatalf("reopened Len = %d, want 2", s2.Len())
+	}
+	for _, h := range []string{h1, h2} {
+		if _, ok := s2.Get(h); !ok {
+			t.Errorf("capture %s lost across reopen", h)
+		}
+	}
+	// A reopened store still dedups against replayed content.
+	putCapture(t, s2, testCapture(1), false)
+}
+
+func TestStoreEvictTombstoneSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	probe, _ := json.Marshal(segRecord{Op: opPut, Hash: "x", Capture: func() *Capture { c := testCapture(0); return &c }()})
+	budget := int64(2*len(probe) + 150)
+	s, err := Open(Options{Dir: dir, BudgetBytes: budget})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	evicted := putCapture(t, s, testCapture(1, KindManual), true)
+	putCapture(t, s, testCapture(2, sim.AnomalyCollision), true)
+	kept := putCapture(t, s, testCapture(3, sim.AnomalyCollision), true)
+	if _, ok := s.Get(evicted); ok {
+		t.Fatal("manual capture should have been evicted in-process")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, err := Open(Options{Dir: dir, BudgetBytes: budget})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get(evicted); ok {
+		t.Error("evicted capture resurrected on reopen (tombstone ignored)")
+	}
+	if _, ok := s2.Get(kept); !ok {
+		t.Error("live capture lost on reopen")
+	}
+}
+
+func TestStoreCompaction(t *testing.T) {
+	dir := t.TempDir()
+	// A budget small enough that repeated put/evict churn crosses the
+	// compaction thresholds (deadBytes > budget/2 and >= 64KiB).
+	probe, _ := json.Marshal(segRecord{Op: opPut, Hash: "x", Capture: func() *Capture { c := testCapture(0); return &c }()})
+	per := int64(len(probe) + 1)
+	budget := 4 * per
+	s, err := Open(Options{Dir: dir, BudgetBytes: budget})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// Churn enough distinct captures that dead bytes dominate.
+	n := int((1<<16)/per) + 8
+	for i := 0; i < n; i++ {
+		putCapture(t, s, testCapture(int64(i+1)), true)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if err != nil {
+		t.Fatalf("glob: %v", err)
+	}
+	var disk int64
+	for _, f := range files {
+		fi, err := fileSize(f)
+		if err != nil {
+			t.Fatalf("stat %s: %v", f, err)
+		}
+		disk += fi
+	}
+	// Compaction keeps disk bounded near the live set, far below the
+	// total churn volume (n * per).
+	if disk > 4*budget+(1<<16)+int64(len(probe)) {
+		t.Fatalf("segments hold %d bytes after churn of %d captures; compaction did not run", disk, n)
+	}
+	live := s.Len()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, err := Open(Options{Dir: dir, BudgetBytes: budget})
+	if err != nil {
+		t.Fatalf("reopen after compaction: %v", err)
+	}
+	defer s2.Close()
+	if s2.Len() != live {
+		t.Fatalf("reopened Len = %d, want %d", s2.Len(), live)
+	}
+}
+
+func TestStoreListFiltersAndPaging(t *testing.T) {
+	s, err := Open(Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+
+	for i := 0; i < 6; i++ {
+		c := testCapture(int64(i + 1))
+		if i%2 == 1 {
+			c.Attack = "delay"
+			c.Kinds = []string{sim.AnomalyFalsePositive}
+			c.Campaign = "c000002"
+		}
+		putCapture(t, s, c, true)
+	}
+
+	all, total := s.List(Query{})
+	if total != 6 || len(all) != 6 {
+		t.Fatalf("List all = %d/%d, want 6/6", len(all), total)
+	}
+	// Most recent first: the last put leads.
+	if all[0].Seed != 6 {
+		t.Errorf("List order: first seed = %d, want 6 (most recent)", all[0].Seed)
+	}
+
+	byKind, total := s.List(Query{Kind: sim.AnomalyFalsePositive})
+	if total != 3 || len(byKind) != 3 {
+		t.Fatalf("kind filter = %d/%d, want 3/3", len(byKind), total)
+	}
+	byAttack, _ := s.List(Query{Attack: "delay"})
+	if len(byAttack) != 3 {
+		t.Fatalf("attack filter = %d, want 3", len(byAttack))
+	}
+	byCampaign, _ := s.List(Query{Campaign: "c000002"})
+	if len(byCampaign) != 3 {
+		t.Fatalf("campaign filter = %d, want 3", len(byCampaign))
+	}
+	bySpec, _ := s.List(Query{SpecHash: "spec-abc"})
+	if len(bySpec) != 6 {
+		t.Fatalf("spec filter = %d, want 6", len(bySpec))
+	}
+	none, total := s.List(Query{Campaign: "missing"})
+	if len(none) != 0 || total != 0 {
+		t.Fatalf("no-match query = %d/%d, want 0/0", len(none), total)
+	}
+
+	page, total := s.List(Query{Offset: 2, Limit: 2})
+	if total != 6 || len(page) != 2 {
+		t.Fatalf("page = %d/%d, want 2 of 6", len(page), total)
+	}
+	if page[0].Seed != 4 || page[1].Seed != 3 {
+		t.Errorf("page seeds = %d,%d, want 4,3", page[0].Seed, page[1].Seed)
+	}
+	past, total := s.List(Query{Offset: 100})
+	if total != 6 || len(past) != 0 {
+		t.Fatalf("past-the-end page = %d/%d, want 0 of 6", len(past), total)
+	}
+}
+
+func TestKindsVocabulary(t *testing.T) {
+	kinds := Kinds()
+	want := map[string]bool{
+		sim.AnomalyCollision: true, sim.AnomalyFalsePositive: true,
+		sim.AnomalyFalseNegative: true, KindLatencyOutlier: true, KindManual: true,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("Kinds() = %v, want the %d-kind vocabulary", kinds, len(want))
+	}
+	for _, k := range kinds {
+		if !want[k] {
+			t.Errorf("unexpected kind %q", k)
+		}
+	}
+}
+
+// fileSize returns a file's size on disk.
+func fileSize(name string) (int64, error) {
+	fi, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}

@@ -212,6 +212,9 @@ func SampleEveryN(n int) Sampler {
 type Store struct {
 	sampler atomic.Pointer[Sampler]
 
+	dropped atomic.Uint64 // roots rejected by the head sampler
+	evicted atomic.Uint64 // live spans overwritten by ring wraparound
+
 	mu   sync.Mutex
 	buf  []SpanRecord
 	head int // next write index
@@ -259,9 +262,13 @@ func (st *Store) Root(ctx context.Context, name, traceID string) (context.Contex
 	if traceID == "" {
 		traceID = NewTraceID()
 	}
+	sampled := (*st.sampler.Load()).Sample(traceID)
+	if !sampled {
+		st.dropped.Add(1)
+	}
 	s := &Span{
 		store:   st,
-		sampled: (*st.sampler.Load()).Sample(traceID),
+		sampled: sampled,
 		start:   time.Now(),
 		rec: SpanRecord{
 			TraceID: traceID,
@@ -280,11 +287,79 @@ func (st *Store) Root(ctx context.Context, name, traceID string) (context.Contex
 func (st *Store) add(rec SpanRecord) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	st.addLocked(rec)
+}
+
+func (st *Store) addLocked(rec SpanRecord) {
+	if st.n == len(st.buf) {
+		st.evicted.Add(1)
+	}
 	st.buf[st.head] = rec
 	st.head = (st.head + 1) % len(st.buf)
 	if st.n < len(st.buf) {
 		st.n++
 	}
+}
+
+// Stats is the store's loss accounting: how much tracing data never
+// made it into (or survived in) the ring. Dropped roots are traces the
+// head sampler rejected; evicted spans were recorded but overwritten by
+// newer ones. Both are cumulative since process start.
+type Stats struct {
+	Spans        int    `json:"spans"`
+	Capacity     int    `json:"capacity"`
+	DroppedRoots uint64 `json:"dropped_roots"`
+	EvictedSpans uint64 `json:"evicted_spans"`
+}
+
+// Stats returns the store's current size and cumulative loss counters.
+func (st *Store) Stats() Stats {
+	st.mu.Lock()
+	spans, capacity := st.n, len(st.buf)
+	st.mu.Unlock()
+	return Stats{
+		Spans:        spans,
+		Capacity:     capacity,
+		DroppedRoots: st.dropped.Load(),
+		EvictedSpans: st.evicted.Load(),
+	}
+}
+
+// Import merges externally-recorded spans — e.g. a dist worker's span
+// batch shipped with its lease completion — into the store, so a
+// coordinator can stitch worker-side spans under the campaign trace it
+// started. Spans already present (same trace ID and span ID) are
+// skipped, making redelivered batches idempotent; spans missing either
+// ID are rejected. Returns how many spans were added.
+func (st *Store) Import(recs []SpanRecord) int {
+	if len(recs) == 0 {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	seen := make(map[[2]string]struct{}, st.n+len(recs))
+	start := st.head - st.n
+	if start < 0 {
+		start += len(st.buf)
+	}
+	for i := 0; i < st.n; i++ {
+		rec := st.buf[(start+i)%len(st.buf)]
+		seen[[2]string{rec.TraceID, rec.SpanID}] = struct{}{}
+	}
+	added := 0
+	for _, rec := range recs {
+		if rec.TraceID == "" || rec.SpanID == "" {
+			continue
+		}
+		key := [2]string{rec.TraceID, rec.SpanID}
+		if _, ok := seen[key]; ok {
+			continue
+		}
+		seen[key] = struct{}{}
+		st.addLocked(rec)
+		added++
+	}
+	return added
 }
 
 // Len returns the number of stored spans.

@@ -216,3 +216,56 @@ func BenchmarkInertSpan(b *testing.B) {
 		s.End()
 	}
 }
+
+func TestStatsCounters(t *testing.T) {
+	st := NewStore(2)
+	st.SetSampler(SampleEveryN(2))
+	for i := 0; i < 6; i++ {
+		_, s := st.Root(context.Background(), "r", "")
+		s.End()
+	}
+	stats := st.Stats()
+	if stats.Capacity != 2 {
+		t.Errorf("Capacity = %d, want 2", stats.Capacity)
+	}
+	if stats.Spans != 2 {
+		t.Errorf("Spans = %d, want 2 (ring full)", stats.Spans)
+	}
+	// 1-in-2 sampling over 6 roots keeps 3 and drops 3; the 3 kept
+	// overflow the 2-slot ring once.
+	if stats.DroppedRoots != 3 {
+		t.Errorf("DroppedRoots = %d, want 3", stats.DroppedRoots)
+	}
+	if stats.EvictedSpans != 1 {
+		t.Errorf("EvictedSpans = %d, want 1", stats.EvictedSpans)
+	}
+}
+
+func TestImportDedup(t *testing.T) {
+	st := NewStore(16)
+	_, local := st.Root(context.Background(), "local", "t1")
+	local.End()
+	localRec := st.Trace("t1")[0]
+
+	batch := []SpanRecord{
+		localRec, // already resident: skipped
+		{TraceID: "t1", SpanID: "w1", Name: "dist.lease"}, // new
+		{TraceID: "t1", SpanID: "w1", Name: "dist.lease"}, // duplicate within batch
+		{TraceID: "", SpanID: "x", Name: "no-trace"},      // rejected: empty trace ID
+		{TraceID: "t1", SpanID: "", Name: "no-span"},      // rejected: empty span ID
+	}
+	if added := st.Import(batch); added != 1 {
+		t.Fatalf("Import added %d spans, want 1", added)
+	}
+	if got := len(st.Trace("t1")); got != 2 {
+		t.Fatalf("trace t1 has %d spans after import, want 2", got)
+	}
+	// Re-importing the same batch is a no-op: redelivered completions
+	// must not duplicate spans.
+	if added := st.Import(batch); added != 0 {
+		t.Errorf("re-Import added %d spans, want 0", added)
+	}
+	if added := st.Import(nil); added != 0 {
+		t.Errorf("Import(nil) added %d spans, want 0", added)
+	}
+}

@@ -97,6 +97,26 @@ type AnomalyDump struct {
 	States []StepState `json:"states"`
 }
 
+// AnomalyKinds returns the distinct anomaly kinds among the result's
+// dumps, in first-occurrence order — the capture-reason list the
+// forensic store indexes by. Deterministic: no map is involved.
+func (r *Result) AnomalyKinds() []string {
+	var kinds []string
+	for _, a := range r.Anomalies {
+		seen := false
+		for _, k := range kinds {
+			if k == a.Kind {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			kinds = append(kinds, a.Kind)
+		}
+	}
+	return kinds
+}
+
 // flightRecorder is the per-run event and state recorder. It is owned by
 // one Run goroutine; nothing is shared.
 type flightRecorder struct {
