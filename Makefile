@@ -5,7 +5,7 @@ GO ?= go
 # without letting coverage rot.
 COVER_MIN ?= 78
 
-.PHONY: all build test race race-hot vet fmt-check lint fuzz-smoke dist-smoke stream-smoke forensic-smoke bench bench-smoke bench-check bench-capture perf-baseline cover check
+.PHONY: all build test race race-hot vet fmt-check lint lint-self lint-json fuzz-smoke dist-smoke stream-smoke forensic-smoke bench bench-smoke bench-check bench-capture perf-baseline cover check
 
 all: check
 
@@ -31,6 +31,17 @@ fmt-check:
 # plus go vet and the gofmt check — the full static gate.
 lint: vet fmt-check
 	$(GO) run ./cmd/safesense-lint ./...
+
+# lint-self dogfoods the analyzers on the lint tree itself: path
+# scoping off, so every analyzer (determinism, hotpathalloc, ctxflow,
+# goroleak, ...) judges the analysis framework and call-graph builder.
+lint-self:
+	$(GO) run ./cmd/safesense-lint -ignore-paths internal/lint/...
+
+# lint-json writes the machine-readable report (with timing breakdown)
+# that CI uploads as an artifact.
+lint-json:
+	$(GO) run ./cmd/safesense-lint -json -timing ./... > lint-report.json
 
 # race-hot focuses the race detector on the concurrent subsystems
 # (worker pool, lock-free metrics, flight recorder, HTTP service) for a

@@ -434,6 +434,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// The sweep outlives the request, so it gets its own root span — but
 	// under the submitting request's trace ID, so the submitter's
 	// X-Request-ID resolves to the whole fan-out in /debug/traces.
+	// Detaching from r.Context() is the point: the submitted campaign
+	// must keep running after the submitting HTTP request returns, and
+	// is cancelled through its own handle (DELETE /campaigns/{id} or
+	// server shutdown), never by the request ending.
+	//safesense:allow ctxflow deliberate detach: async campaign outlives the submitting request; cancellation via campaign handle
 	ctx, cancel := context.WithCancel(context.Background())
 	ctx, cspan := s.traces.Root(ctx, "campaign.async", obstrace.ID(r.Context()))
 

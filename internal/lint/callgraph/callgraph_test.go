@@ -1,0 +1,183 @@
+package callgraph_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"safesense/internal/lint"
+	"safesense/internal/lint/callgraph"
+)
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// fixtureGraph loads testdata/src/callgraph and builds its graph.
+func fixtureGraph(t *testing.T) *callgraph.Graph {
+	t.Helper()
+	root := moduleRoot(t)
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "lint", "testdata", "src", "callgraph")
+	units, err := loader.LoadDir(dir, "fixture/callgraph", "internal/callgraph")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	return callgraph.Build(loader.Fset(), lint.GraphUnits(units))
+}
+
+// nodeByDisplay finds the unique node with the given display name.
+func nodeByDisplay(t *testing.T, g *callgraph.Graph, display string) *callgraph.Node {
+	t.Helper()
+	var found *callgraph.Node
+	for _, n := range g.SortedNodes() {
+		if n.Display == display {
+			if found != nil {
+				t.Fatalf("display %q is ambiguous (%s and %s)", display, found.ID, n.ID)
+			}
+			found = n
+		}
+	}
+	if found == nil {
+		t.Fatalf("no node with display %q", display)
+	}
+	return found
+}
+
+// calleeDisplays collects the displays of n's outgoing edges of a kind.
+func calleeDisplays(n *callgraph.Node, kind callgraph.EdgeKind) []string {
+	var out []string
+	for _, e := range n.Out {
+		if e.Kind == kind {
+			out = append(out, e.Callee.Display)
+		}
+	}
+	return out
+}
+
+func hasCallee(n *callgraph.Node, kind callgraph.EdgeKind, display string) bool {
+	for _, d := range calleeDisplays(n, kind) {
+		if d == display {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStaticCallsAndClosures(t *testing.T) {
+	g := fixtureGraph(t)
+	top := nodeByDisplay(t, g, "callgraph.Top")
+
+	if !hasCallee(top, callgraph.KindStatic, "callgraph.Helper") {
+		t.Errorf("Top should have a static edge to Helper; static callees: %v",
+			calleeDisplays(top, callgraph.KindStatic))
+	}
+	if !hasCallee(top, callgraph.KindLiteral, "callgraph.Top$1") {
+		t.Errorf("Top should have a literal edge to its closure; literal callees: %v",
+			calleeDisplays(top, callgraph.KindLiteral))
+	}
+	// The closure's body belongs to the closure's node, not Top's.
+	if hasCallee(top, callgraph.KindStatic, "callgraph.Leaf") {
+		t.Error("Leaf is called by Top's closure, not Top itself")
+	}
+	lit := nodeByDisplay(t, g, "callgraph.Top$1")
+	if !hasCallee(lit, callgraph.KindStatic, "callgraph.Leaf") {
+		t.Errorf("Top$1 should call Leaf; static callees: %v",
+			calleeDisplays(lit, callgraph.KindStatic))
+	}
+}
+
+func TestInterfaceDispatchIsConservative(t *testing.T) {
+	g := fixtureGraph(t)
+	dispatch := nodeByDisplay(t, g, "callgraph.Dispatch")
+	for _, impl := range []string{"callgraph.(*A).Do", "callgraph.B.Do"} {
+		if !hasCallee(dispatch, callgraph.KindInterface, impl) {
+			t.Errorf("Dispatch should have an interface edge to %s; got %v",
+				impl, calleeDisplays(dispatch, callgraph.KindInterface))
+		}
+	}
+}
+
+func TestMethodAndFunctionValues(t *testing.T) {
+	g := fixtureGraph(t)
+	mv := nodeByDisplay(t, g, "callgraph.MethodValue")
+	if !hasCallee(mv, callgraph.KindRef, "callgraph.(*A).Do") {
+		t.Errorf("MethodValue should have a ref edge to (*A).Do; got %v",
+			calleeDisplays(mv, callgraph.KindRef))
+	}
+	cb := nodeByDisplay(t, g, "callgraph.Callback")
+	if !hasCallee(cb, callgraph.KindRef, "callgraph.Leaf") {
+		t.Errorf("Callback should have a ref edge to Leaf; got %v",
+			calleeDisplays(cb, callgraph.KindRef))
+	}
+	if !hasCallee(cb, callgraph.KindStatic, "callgraph.apply") {
+		t.Errorf("Callback should statically call apply; got %v",
+			calleeDisplays(cb, callgraph.KindStatic))
+	}
+}
+
+func TestCallsThroughVariablesAreDropped(t *testing.T) {
+	g := fixtureGraph(t)
+	// apply calls only through its parameter — no resolvable callees.
+	if out := nodeByDisplay(t, g, "callgraph.apply").Out; len(out) != 0 {
+		t.Errorf("apply should have no edges, got %d", len(out))
+	}
+	// ViaSeam calls through a package-level var — the seam blind spot.
+	if out := nodeByDisplay(t, g, "callgraph.ViaSeam").Out; len(out) != 0 {
+		t.Errorf("ViaSeam should have no edges (seam idiom), got %d", len(out))
+	}
+}
+
+func TestReachabilityAndChains(t *testing.T) {
+	g := fixtureGraph(t)
+	top := nodeByDisplay(t, g, "callgraph.Top")
+	helper := nodeByDisplay(t, g, "callgraph.Helper")
+	leaf := nodeByDisplay(t, g, "callgraph.Leaf")
+
+	tree := g.ReachFrom(top, nil)
+	chain := callgraph.ChainTo(tree, leaf)
+	if chain == nil {
+		t.Fatal("Top should reach Leaf")
+	}
+	if len(chain) != 2 || chain[0].Callee != helper || chain[1].Callee != leaf {
+		var path []string
+		for _, e := range chain {
+			path = append(path, e.Callee.Display)
+		}
+		t.Fatalf("expected Top→Helper→Leaf, got Top→%v", path)
+	}
+
+	// Blocking expansion at Helper forces the BFS around it: Leaf is
+	// still reached, but through the closure.
+	blocked := g.ReachFrom(top, func(n *callgraph.Node) bool { return n != helper })
+	chain = callgraph.ChainTo(blocked, leaf)
+	if chain == nil {
+		t.Fatal("Top should still reach Leaf around Helper (via the closure)")
+	}
+	lit := nodeByDisplay(t, g, "callgraph.Top$1")
+	if len(chain) != 2 || chain[0].Callee != lit || chain[1].Callee != leaf {
+		var path []string
+		for _, e := range chain {
+			path = append(path, e.Callee.Display)
+		}
+		t.Fatalf("expected Top→Top$1→Leaf when Helper is blocked, got Top→%v", path)
+	}
+}

@@ -2,7 +2,12 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"sort"
+	"strings"
+
+	"safesense/internal/lint/callgraph"
 )
 
 // Determinism enforces the reproduction's core contract: for a given
@@ -21,9 +26,22 @@ import (
 //     deliberately randomized by the runtime, so a loop that appends
 //     to a slice, prints, or writes while ranging a map produces a
 //     different artifact every run unless the keys are sorted first.
+//
+// The check is transitive: beyond the direct (intraprocedural) scan of
+// every in-scope package, each in-scope function walks the module-wide
+// call graph and is flagged when it can reach a violation buried in a
+// helper package outside the scoped paths — a time.Now() two calls deep
+// in internal/dsp breaks sim determinism exactly as much as one written
+// inline. Transitive diagnostics carry the full call chain
+// (sim.Step → dsp.window → time.Now wall-clock read) and anchor at the
+// in-scope call site, where a line-scoped //safesense:allow can
+// suppress them. Propagation stops at other in-scope functions (they
+// file their own reports) and cannot cross calls through
+// function-typed variables — which is precisely why the injected-seam
+// idiom (`var clock = time.Now`) is invisible to it by design.
 var Determinism = &Analyzer{
 	Name: "determinism",
-	Doc:  "forbid wall clocks, global RNG, and map-ordered output in the deterministic pipeline",
+	Doc:  "forbid wall clocks, global RNG, and map-ordered output (directly or transitively) in the deterministic pipeline",
 	Paths: []string{
 		"internal/sim",
 		"internal/estimate",
@@ -86,6 +104,169 @@ func runDeterminism(p *Pass) {
 			}
 		}
 	}
+	runDeterminismTransitive(p)
+}
+
+// runDeterminismTransitive walks the call graph from every function
+// declared in this in-scope unit and reports reachable violations in
+// out-of-scope module packages, with the full call chain.
+func runDeterminismTransitive(p *Pass) {
+	facts := determinismFacts(p.Graph)
+	inScope := func(rel string) bool { return p.Analyzer.AppliesTo(rel) }
+	for _, root := range unitNodes(p) {
+		tree := p.Graph.ReachFrom(root, func(n *callgraph.Node) bool {
+			// Expand only through out-of-scope nodes: an in-scope
+			// function on the path files its own report.
+			return !inScope(n.RelPath)
+		})
+		for _, hit := range sortedReached(tree) {
+			if inScope(hit.RelPath) {
+				continue // directly checked where it is declared
+			}
+			fs := facts[hit]
+			if len(fs) == 0 {
+				continue
+			}
+			chain := callgraph.ChainTo(tree, hit)
+			if chain == nil {
+				continue
+			}
+			display := chainDisplay(root, chain)
+			display = append(display, fs[0].desc)
+			extra := ""
+			if len(fs) > 1 {
+				extra = " (and more in the same function)"
+			}
+			p.ReportChain(chain[0].Pos, fs[0].hint, display,
+				"transitively %s%s", fs[0].what, extra)
+		}
+	}
+}
+
+// detFact is one direct violation found in a function body, as seen by
+// the transitive pass.
+type detFact struct {
+	pos  token.Pos
+	desc string // chain-tail form, e.g. "time.Now wall-clock read"
+	what string // sentence form, e.g. "reads the wall clock (time.Now)"
+	hint string
+}
+
+// determinismFacts scans every node's own body once per graph and
+// memoizes the direct violations, keyed by node.
+func determinismFacts(g *callgraph.Graph) map[*callgraph.Node][]detFact {
+	const key = "determinism.facts"
+	if cached, ok := g.Cache[key]; ok {
+		return cached.(map[*callgraph.Node][]detFact)
+	}
+	facts := make(map[*callgraph.Node][]detFact)
+	for _, n := range g.SortedNodes() {
+		info := n.Unit.Info
+		var fs []detFact
+		n.InspectOwn(func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.SelectorExpr:
+				if f, ok := nondeterministicUse(info, x); ok {
+					fs = append(fs, f)
+				}
+			case *ast.RangeStmt:
+				if body := n.Body(); body != nil {
+					if _, ok := mapRangeSink(info, body, x); ok {
+						fs = append(fs, detFact{
+							pos:  x.Pos(),
+							desc: "map-ordered output",
+							what: "emits map-iteration-ordered output",
+							hint: "collect the keys, sort them, and iterate the sorted slice",
+						})
+					}
+				}
+			}
+			return true
+		})
+		sort.Slice(fs, func(i, j int) bool { return fs[i].pos < fs[j].pos })
+		if len(fs) > 0 {
+			facts[n] = fs
+		}
+	}
+	g.Cache[key] = facts
+	return facts
+}
+
+// nondeterministicUse resolves a selector and classifies it as a
+// forbidden clock or global-RNG use.
+func nondeterministicUse(info *types.Info, sel *ast.SelectorExpr) (detFact, bool) {
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return detFact{}, false
+	}
+	switch obj.Pkg().Path() {
+	case "time":
+		if obj.Name() == "Now" || obj.Name() == "Since" || obj.Name() == "Until" {
+			return detFact{
+				pos:  sel.Pos(),
+				desc: "time." + obj.Name() + " wall-clock read",
+				what: "reads the wall clock (time." + obj.Name() + ")",
+				hint: "inject the clock through a package-level `var clock = time.Now` seam and stub it in tests",
+			}, true
+		}
+	case "math/rand", "math/rand/v2":
+		// Only package-level functions touch the shared global state;
+		// methods on a constructed *rand.Rand are the approved idiom.
+		fn, isFunc := obj.(*types.Func)
+		if isFunc && fn.Type().(*types.Signature).Recv() == nil && globalRandFuncs[obj.Name()] {
+			return detFact{
+				pos:  sel.Pos(),
+				desc: "global rand." + obj.Name(),
+				what: "draws from the global RNG (rand." + obj.Name() + ")",
+				hint: "derive randomness from the scenario seed (noise.NewSource / rand.New(rand.NewSource(seed)))",
+			}, true
+		}
+	}
+	return detFact{}, false
+}
+
+// unitNodes returns the graph nodes (declarations and literals)
+// declared in this pass's unit, in deterministic ID order.
+func unitNodes(p *Pass) []*callgraph.Node {
+	var out []*callgraph.Node
+	for _, n := range p.Graph.SortedNodes() {
+		if n.Unit != nil && n.Unit.Pkg == p.Pkg {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// sortedReached returns the BFS tree's reached nodes in deterministic
+// ID order (the tree is a map).
+func sortedReached(tree map[*callgraph.Node]*callgraph.Edge) []*callgraph.Node {
+	out := make([]*callgraph.Node, 0, len(tree))
+	for n := range tree {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// chainDisplay renders the node sequence of an edge chain, starting at
+// the root.
+func chainDisplay(root *callgraph.Node, chain []*callgraph.Edge) []string {
+	out := make([]string, 0, len(chain)+2)
+	out = append(out, root.Display)
+	for _, e := range chain {
+		out = append(out, e.Callee.Display)
+	}
+	return out
+}
+
+// reportNondeterministic resolves a selector and reports it when it
+// names a forbidden clock or global-RNG function.
+func reportNondeterministic(p *Pass, sel *ast.SelectorExpr) {
+	f, ok := nondeterministicUse(p.Info, sel)
+	if !ok {
+		return
+	}
+	p.Reportf(sel.Pos(), f.hint, "%s breaks run reproducibility", f.desc)
 }
 
 // deterministicWalk flags clock and global-RNG uses (references and
@@ -102,44 +283,33 @@ func deterministicWalk(p *Pass, body *ast.BlockStmt) {
 	})
 }
 
-// reportNondeterministic resolves a selector and reports it when it
-// names a forbidden clock or global-RNG function.
-func reportNondeterministic(p *Pass, sel *ast.SelectorExpr) {
-	obj := p.Info.Uses[sel.Sel]
-	if obj == nil || obj.Pkg() == nil {
-		return
-	}
-	switch obj.Pkg().Path() {
-	case "time":
-		if obj.Name() == "Now" || obj.Name() == "Since" || obj.Name() == "Until" {
-			p.Reportf(sel.Pos(),
-				"inject the clock through a package-level `var clock = time.Now` seam and stub it in tests",
-				"time.%s wall-clock read breaks run reproducibility", obj.Name())
-		}
-	case "math/rand", "math/rand/v2":
-		// Only package-level functions touch the shared global state;
-		// methods on a constructed *rand.Rand are the approved idiom.
-		fn, isFunc := obj.(*types.Func)
-		if isFunc && fn.Type().(*types.Signature).Recv() == nil && globalRandFuncs[obj.Name()] {
-			p.Reportf(sel.Pos(),
-				"derive randomness from the scenario seed (noise.NewSource / rand.New(rand.NewSource(seed)))",
-				"global rand.%s breaks run reproducibility", obj.Name())
-		}
-	}
-}
-
 // checkMapRangeOutput flags `for k := range m` over a map when the
 // loop body feeds an order-sensitive sink (slice append, fmt output,
 // Write* methods, channel send) — unless every appended slice is
 // passed to a sort call elsewhere in the enclosing function (the
 // collect-then-sort idiom).
 func checkMapRangeOutput(p *Pass, enclosing *ast.BlockStmt, rng *ast.RangeStmt) {
-	tv, ok := p.Info.Types[rng.X]
+	msg, ok := mapRangeSink(p.Info, enclosing, rng)
 	if !ok {
 		return
 	}
+	hint := "collect the keys, sort them, and iterate the sorted slice"
+	if strings.HasPrefix(msg, "map iteration order feeds slice") {
+		hint = "sort the slice after the loop (sort.Slice / slices.Sort / sort.Ints), or iterate sorted keys"
+	}
+	p.Reportf(rng.Pos(), hint, "%s", msg)
+}
+
+// mapRangeSink classifies a range statement as map-ordered output. The
+// returned message is the human form; ok is false when the range is not
+// over a map or feeds no order-sensitive sink.
+func mapRangeSink(info *types.Info, enclosing *ast.BlockStmt, rng *ast.RangeStmt) (string, bool) {
+	tv, ok := info.Types[rng.X]
+	if !ok {
+		return "", false
+	}
 	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
-		return
+		return "", false
 	}
 	var sinkKind string
 	appended := make(map[types.Object]bool)
@@ -151,15 +321,15 @@ func checkMapRangeOutput(p *Pass, enclosing *ast.BlockStmt, rng *ast.RangeStmt) 
 		case *ast.CallExpr:
 			switch fun := n.Fun.(type) {
 			case *ast.Ident:
-				if fun.Name == "append" && p.Info.Uses[fun] != nil && p.Info.Uses[fun].Parent() == types.Universe {
-					if target := appendTarget(p, n); target != nil {
+				if fun.Name == "append" && info.Uses[fun] != nil && info.Uses[fun].Parent() == types.Universe {
+					if target := appendTarget(info, n); target != nil {
 						appended[target] = true
 					} else {
 						sinkKind = "a slice append"
 					}
 				}
 			case *ast.SelectorExpr:
-				if obj := p.Info.Uses[fun.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+				if obj := info.Uses[fun.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
 					sinkKind = "fmt output"
 				} else if name := fun.Sel.Name; name == "Write" || name == "WriteString" || name == "WriteByte" || name == "WriteRune" {
 					sinkKind = "writer output"
@@ -171,29 +341,35 @@ func checkMapRangeOutput(p *Pass, enclosing *ast.BlockStmt, rng *ast.RangeStmt) 
 		return sinkKind == ""
 	})
 	if sinkKind != "" {
-		p.Reportf(rng.Pos(),
-			"collect the keys, sort them, and iterate the sorted slice",
-			"map iteration order reaches %s; output will differ between identical runs", sinkKind)
-		return
+		return "map iteration order reaches " + sinkKind + "; output will differ between identical runs", true
 	}
-	for obj := range appended {
-		if !sortedInBlock(p, enclosing, obj) {
-			p.Reportf(rng.Pos(),
-				"sort the slice after the loop (sort.Slice / slices.Sort / sort.Ints), or iterate sorted keys",
-				"map iteration order feeds slice %q without a subsequent sort", obj.Name())
-			return
+	for _, obj := range sortedObjects(appended) {
+		if !sortedInBlock(info, enclosing, obj) {
+			return "map iteration order feeds slice \"" + obj.Name() + "\" without a subsequent sort", true
 		}
 	}
+	return "", false
+}
+
+// sortedObjects orders a set of objects by position so diagnostics are
+// deterministic.
+func sortedObjects(set map[types.Object]bool) []types.Object {
+	out := make([]types.Object, 0, len(set))
+	for obj := range set {
+		out = append(out, obj)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
 }
 
 // appendTarget resolves append(x, ...)'s slice variable, nil when the
 // first argument is not a plain identifier.
-func appendTarget(p *Pass, call *ast.CallExpr) types.Object {
+func appendTarget(info *types.Info, call *ast.CallExpr) types.Object {
 	if len(call.Args) == 0 {
 		return nil
 	}
 	if id, ok := call.Args[0].(*ast.Ident); ok {
-		return p.Info.Uses[id]
+		return info.Uses[id]
 	}
 	return nil
 }
@@ -201,7 +377,7 @@ func appendTarget(p *Pass, call *ast.CallExpr) types.Object {
 // sortedInBlock reports whether obj is passed to a sort.* / slices.*
 // call anywhere in the function body (no flow analysis; accepting a
 // sort before the loop is a deliberate simplification).
-func sortedInBlock(p *Pass, body *ast.BlockStmt, obj types.Object) bool {
+func sortedInBlock(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		if found {
@@ -215,7 +391,7 @@ func sortedInBlock(p *Pass, body *ast.BlockStmt, obj types.Object) bool {
 		if !ok {
 			return true
 		}
-		callee := p.Info.Uses[sel.Sel]
+		callee := info.Uses[sel.Sel]
 		if callee == nil || callee.Pkg() == nil {
 			return true
 		}
@@ -223,7 +399,7 @@ func sortedInBlock(p *Pass, body *ast.BlockStmt, obj types.Object) bool {
 			return true
 		}
 		for _, arg := range call.Args {
-			if id, ok := arg.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			if id, ok := arg.(*ast.Ident); ok && info.Uses[id] == obj {
 				found = true
 			}
 		}

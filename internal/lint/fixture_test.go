@@ -23,6 +23,8 @@ var fixtureCases = []struct {
 	{"floatcmp", lint.FloatCmp, "internal/mat"},
 	{"hotpathalloc", lint.HotPathAlloc, "internal/obs"},
 	{"metriclabels", lint.MetricLabels, "internal/obs"},
+	{"ctxflow", lint.CtxFlow, "internal/campaign"},
+	{"goroleak", lint.GoroLeak, "internal/dist"},
 }
 
 // moduleRoot walks up from the test's working directory to go.mod.

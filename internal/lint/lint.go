@@ -31,6 +31,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"safesense/internal/lint/callgraph"
 )
 
 // Analyzer is one named invariant check.
@@ -71,6 +73,12 @@ type Diagnostic struct {
 	Message  string `json:"message"`
 	// Hint tells the author the approved way to write the code.
 	Hint string `json:"hint,omitempty"`
+	// Chain, set by the transitive analyzers, is the call path from the
+	// function owning the invariant to the violation, ending in the
+	// violation itself (e.g. ["sim.Step", "dsp.window", "time.Now
+	// wall-clock read"]). The same chain is rendered into Message with
+	// " → " separators; the structured form is for machine consumers.
+	Chain []string `json:"chain,omitempty"`
 }
 
 // String renders the conventional file:line:col form.
@@ -82,6 +90,10 @@ func (d Diagnostic) String() string {
 	return s
 }
 
+// RenderChain joins chain elements with the arrow separator used in
+// transitive diagnostics.
+func RenderChain(chain []string) string { return strings.Join(chain, " → ") }
+
 // Pass carries one analyzer's view of one type-checked package.
 type Pass struct {
 	Analyzer *Analyzer
@@ -92,6 +104,11 @@ type Pass struct {
 	// Pkg and Info are the go/types results for Files.
 	Pkg  *types.Package
 	Info *types.Info
+	// RelPath is the unit's module-relative import path.
+	RelPath string
+	// Graph is the module-wide call graph, shared by every pass of one
+	// run; its Cache lets analyzers memoize module-level facts once.
+	Graph *callgraph.Graph
 
 	diags   *[]Diagnostic
 	allowed map[string]map[int]map[string]bool // file -> line -> analyzer set
@@ -100,6 +117,17 @@ type Pass struct {
 // Reportf records a diagnostic at pos unless an allow comment covers
 // the line.
 func (p *Pass) Reportf(pos token.Pos, hint, format string, args ...any) {
+	p.report(pos, hint, nil, format, args...)
+}
+
+// ReportChain records a transitive diagnostic at pos: the message is
+// prefixed with the rendered call chain, and the structured chain rides
+// the diagnostic's Chain field.
+func (p *Pass) ReportChain(pos token.Pos, hint string, chain []string, format string, args ...any) {
+	p.report(pos, hint, chain, "%s: %s", RenderChain(chain), fmt.Sprintf(format, args...))
+}
+
+func (p *Pass) report(pos token.Pos, hint string, chain []string, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	if p.allowedAt(position) {
 		return
@@ -111,6 +139,7 @@ func (p *Pass) Reportf(pos token.Pos, hint, format string, args ...any) {
 		Col:      position.Column,
 		Message:  fmt.Sprintf(format, args...),
 		Hint:     hint,
+		Chain:    chain,
 	})
 }
 
@@ -178,9 +207,48 @@ func FuncDocHas(fn *ast.FuncDecl, marker string) bool {
 	return false
 }
 
+// GraphUnits converts loaded packages into call-graph units.
+func GraphUnits(pkgs []*Package) []*callgraph.Unit {
+	units := make([]*callgraph.Unit, len(pkgs))
+	for i, p := range pkgs {
+		units[i] = &callgraph.Unit{
+			RelPath: p.RelPath,
+			Files:   p.Files,
+			Pkg:     p.Types,
+			Info:    p.Info,
+		}
+	}
+	return units
+}
+
 // RunAnalyzers executes every applicable analyzer over the loaded
-// packages and returns the findings sorted by position.
+// packages and returns the findings sorted by position. The call graph
+// is built over exactly these packages; the driver uses
+// RunAnalyzersGraph to analyze a pattern-filtered subset against a
+// module-wide graph.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var fset *token.FileSet
+	if len(pkgs) > 0 {
+		fset = pkgs[0].Fset
+	} else {
+		fset = token.NewFileSet()
+	}
+	graph := callgraph.Build(fset, GraphUnits(pkgs))
+	return RunAnalyzersGraph(pkgs, graph, analyzers, nil)
+}
+
+// RunAnalyzersGraph executes every applicable analyzer over the given
+// (possibly pattern-filtered) packages, sharing one prebuilt call
+// graph. When timings is non-nil, each analyzer's cumulative wall time
+// is accumulated into it by name.
+func RunAnalyzersGraph(pkgs []*Package, graph *callgraph.Graph, analyzers []*Analyzer, timings map[string]float64) []Diagnostic {
+	if timings != nil {
+		// Every analyzer appears in the breakdown, even when its scoped
+		// paths matched nothing this run.
+		for _, a := range analyzers {
+			timings[a.Name] += 0
+		}
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		allowed := buildAllowIndex(pkg.Fset, pkg.Files)
@@ -188,15 +256,21 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			if !a.AppliesTo(pkg.RelPath) {
 				continue
 			}
+			start := wallClock()
 			a.Run(&Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				RelPath:  pkg.RelPath,
+				Graph:    graph,
 				diags:    &diags,
 				allowed:  allowed,
 			})
+			if timings != nil {
+				timings[a.Name] += wallClock().Sub(start).Seconds()
+			}
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -215,12 +289,14 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	return diags
 }
 
-// All returns the four safesense analyzers.
+// All returns the six safesense analyzers.
 func All() []*Analyzer {
 	return []*Analyzer{
 		Determinism,
 		FloatCmp,
 		HotPathAlloc,
 		MetricLabels,
+		CtxFlow,
+		GoroLeak,
 	}
 }

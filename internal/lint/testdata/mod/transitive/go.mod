@@ -1,0 +1,3 @@
+module transitive
+
+go 1.22

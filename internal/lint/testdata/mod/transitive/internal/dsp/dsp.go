@@ -1,0 +1,34 @@
+// Package dsp is the helper layer of the transitive fixture: outside
+// the determinism analyzer's scoped paths and free of hot-path
+// markers, so nothing here is flagged directly — only through the
+// call chains arriving from internal/sim.
+package dsp
+
+import (
+	"fmt"
+	"time"
+)
+
+// Window reduces the samples; its scale factor hides a clock read.
+func Window(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s * scale()
+}
+
+// scale is the buried nondeterminism.
+func scale() float64 {
+	return 1 + float64(time.Now().UnixNano()%3)*0
+}
+
+// Format renders a sample; the allocation hides one level further down.
+func Format(v float64) string {
+	return render(v)
+}
+
+// render is the buried allocation.
+func render(v float64) string {
+	return fmt.Sprintf("%.3f", v)
+}

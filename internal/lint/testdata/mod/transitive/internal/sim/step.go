@@ -1,0 +1,21 @@
+// Package sim mirrors the repo's scenario-pipeline shape for the
+// transitive-lint acceptance fixture: the functions here are clean in
+// isolation — every violation lives two calls away in internal/dsp,
+// outside the determinism analyzer's scoped paths.
+package sim
+
+import "transitive/internal/dsp"
+
+// Step advances one scenario step. The wall-clock read is two calls
+// below: Step → dsp.Window → dsp.scale → time.Now.
+func Step(xs []float64) float64 {
+	return dsp.Window(xs)
+}
+
+// Record is the per-step hot path. The allocation is two calls below:
+// Record → dsp.Format → dsp.render → fmt.Sprintf.
+//
+//safesense:hotpath
+func Record(v float64) string {
+	return dsp.Format(v)
+}

@@ -1,0 +1,55 @@
+// Package callgraph is the golden fixture for call-graph construction:
+// static calls, conservative interface dispatch, method values,
+// closures, and the deliberate blind spot for calls through
+// function-typed variables (the clock-seam idiom).
+package callgraph
+
+// Doer is dispatched through in Dispatch; both A and B implement it.
+type Doer interface{ Do(int) int }
+
+// A implements Doer with a pointer receiver.
+type A struct{ n int }
+
+func (a *A) Do(x int) int { return x + a.n }
+
+// B implements Doer with a value receiver.
+type B struct{}
+
+func (B) Do(x int) int { return x * 2 }
+
+// Top exercises a static call, a closure, and a call through a
+// function-typed variable (dropped by design).
+func Top(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += Helper(x)
+	}
+	f := func(v int) int { return Leaf(v) }
+	return f(total)
+}
+
+// Helper sits between Top and Leaf in the static chain.
+func Helper(x int) int { return Leaf(x) + 1 }
+
+// Leaf is the chain terminus.
+func Leaf(x int) int { return x }
+
+// Dispatch calls through the interface: conservative resolution must
+// produce edges to every loaded implementation.
+func Dispatch(d Doer, x int) int { return d.Do(x) }
+
+// MethodValue references a method as a value — a Ref edge.
+func MethodValue(a *A) func(int) int { return a.Do }
+
+// Callback passes Leaf as a value — a Ref edge via a bare identifier.
+func Callback() int { return apply(Leaf, 3) }
+
+// apply calls through its parameter: no edge (unresolvable statically).
+func apply(f func(int) int, x int) int { return f(x) }
+
+// seam mirrors `var clock = time.Now`: the reference is visible at the
+// var, the call through it is not.
+var seam = Leaf
+
+// ViaSeam calls through the package-level variable — no edge.
+func ViaSeam(x int) int { return seam(x) }

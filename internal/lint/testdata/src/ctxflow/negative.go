@@ -1,0 +1,39 @@
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+)
+
+// threaded passes its context down — the approved shape.
+func threaded(ctx context.Context, id string) {
+	runWith(ctx, id)
+	WorkContext(ctx)
+}
+
+// fromRequest derives the context from the request.
+func fromRequest(w http.ResponseWriter, r *http.Request) {
+	runWith(r.Context(), r.URL.Path)
+}
+
+// entryPoint has no inbound context, so creating the root here is
+// exactly right.
+func entryPoint(id string) {
+	runWith(context.Background(), id)
+	Work() // no context to drop — the variant check needs an inbound ctx
+}
+
+// deliberateDetach documents the exception: the spawned sweep outlives
+// the request by design.
+func deliberateDetach(ctx context.Context) {
+	//safesense:allow ctxflow sweep outlives the request by design
+	runWith(context.Background(), "detached")
+}
+
+// withValues derives from the inbound context; With* constructors are
+// not roots.
+func withValues(ctx context.Context) {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	runWith(cctx, "scoped")
+}

@@ -1,0 +1,43 @@
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+)
+
+// processJob carries a ctx and must thread it down, not mint new roots.
+func processJob(ctx context.Context, id string) {
+	_ = ctx
+	jctx := context.Background() // want "context.Background() inside a context-carrying function"
+	runWith(jctx, id)
+}
+
+// handle carries the request context through r.Context().
+func handle(w http.ResponseWriter, r *http.Request) {
+	tctx := context.TODO() // want "context.TODO() inside a context-carrying function"
+	runWith(tctx, r.URL.Path)
+}
+
+// detachInClosure shows the flag reaching literals: the closure inherits
+// the enclosing function's context obligation.
+func detachInClosure(ctx context.Context) func() {
+	return func() {
+		runWith(context.Background(), "late") // want "context.Background() inside a context-carrying function"
+	}
+}
+
+// dropsVariant calls the context-less form although a Context variant
+// exists in the same package.
+func dropsVariant(ctx context.Context) {
+	Work() // want "drops the caller's context"
+	_ = ctx
+}
+
+func runWith(ctx context.Context, id string) { _, _ = ctx, id }
+
+// Work is the legacy entry point; WorkContext is its context-aware
+// variant.
+func Work() {}
+
+// WorkContext does Work under a context.
+func WorkContext(ctx context.Context) { _ = ctx }

@@ -1,0 +1,99 @@
+package goroleak
+
+import (
+	"context"
+	"time"
+)
+
+// selectLoop is the canonical shape: select on ctx.Done, return when it
+// fires.
+func selectLoop(ctx context.Context, tick *time.Ticker, work func()) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				work()
+			}
+		}
+	}()
+}
+
+// drainUntilClosed exits when the feed channel closes.
+func drainUntilClosed(feed chan int, work func(int)) {
+	go func() {
+		for {
+			it, ok := <-feed
+			if !ok {
+				return
+			}
+			work(it)
+		}
+	}()
+}
+
+// rangeOverChannel terminates when the channel closes — the close is
+// the signal.
+func rangeOverChannel(feed chan int, work func(int)) {
+	go func() {
+		for it := range feed {
+			work(it)
+		}
+	}()
+}
+
+// boundedLoop runs a fixed number of iterations.
+func boundedLoop(work func(int)) {
+	go func() {
+		for i := 0; i < 8; i++ {
+			work(i)
+		}
+	}()
+}
+
+// breakOut leaves the loop with a plain break when the stop channel
+// fires.
+func breakOut(stop chan struct{}, work func()) {
+	go func() {
+		for {
+			if _, ok := <-stop; ok {
+				break
+			}
+			work()
+		}
+	}()
+}
+
+// namedWorker spawns a named function with a provable exit; the call
+// graph resolves the body.
+func namedWorker(feed chan int, work func(int)) {
+	go drain(feed, work)
+}
+
+func drain(feed chan int, work func(int)) {
+	for {
+		it, ok := <-feed
+		if !ok {
+			return
+		}
+		work(it)
+	}
+}
+
+// noLoops terminates with its work.
+func noLoops(work func()) {
+	go func() {
+		work()
+	}()
+}
+
+// processLifetime documents a deliberate forever-goroutine.
+func processLifetime(work func()) {
+	//safesense:allow goroleak metrics flusher is process-lifetime by design
+	go func() {
+		for {
+			work()
+		}
+	}()
+}

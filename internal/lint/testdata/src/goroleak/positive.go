@@ -1,0 +1,43 @@
+package goroleak
+
+import "time"
+
+// spinForever has no channel receive: cancellation can never reach it.
+func spinForever(work func()) {
+	go func() { // want "without receiving from any channel"
+		for {
+			work()
+		}
+	}()
+}
+
+// receivesButIgnores drains a channel but never leaves the loop.
+func receivesButIgnores(ch chan int, work func(int)) {
+	go func() { // want "never exits its loop"
+		for {
+			work(<-ch)
+		}
+	}()
+}
+
+// namedSpin spawns a named function whose body loops unprovably; the
+// call graph resolves the target and the finding lands on the go
+// statement.
+func namedSpin() {
+	go spin() // want "without receiving from any channel"
+}
+
+func spin() {
+	for {
+	}
+}
+
+// funcValue spawns through a function-typed variable — unresolvable.
+func funcValue(f func()) {
+	go f() // want "termination cannot be proved statically"
+}
+
+// external spawns a function outside the module — unresolvable.
+func external() {
+	go time.Sleep(time.Millisecond) // want "outside the module"
+}

@@ -2,6 +2,12 @@ package obs
 
 import "time"
 
+// clock is the injected time source for span measurement. Timing here
+// is reporting metadata, never analysis input, but routing every read
+// through the seam keeps the transitive determinism lint exact about
+// where wall time can enter the pipeline — and lets tests freeze it.
+var clock = time.Now
+
 // Timer accumulates wall time over repeated Spans of one named phase.
 // It is a plain accumulator for single-goroutine use (one Timer per phase
 // per run); flush the total into a shared Histogram when the run ends.
@@ -29,7 +35,7 @@ func (t *Timer) Reset() { t.total, t.calls = 0, 0 }
 // Start opens a span; End it to accumulate.
 //
 //safesense:hotpath
-func (t *Timer) Start() Span { return Span{t: t, start: time.Now()} }
+func (t *Timer) Start() Span { return Span{t: t, start: clock()} }
 
 // Span measures one region of code. The zero Span is inert: End returns 0
 // and records nothing.
@@ -41,7 +47,7 @@ type Span struct {
 
 // StartSpan opens a span that records its duration (in seconds) into h
 // when ended; h may be nil, which only measures.
-func StartSpan(h *Histogram) Span { return Span{h: h, start: time.Now()} }
+func StartSpan(h *Histogram) Span { return Span{h: h, start: clock()} }
 
 // End closes the span, accumulates into its Timer and/or Histogram, and
 // returns the elapsed duration.
@@ -51,7 +57,7 @@ func (s Span) End() time.Duration {
 	if s.start.IsZero() {
 		return 0
 	}
-	d := time.Since(s.start)
+	d := clock().Sub(s.start)
 	if s.t != nil {
 		s.t.total += d
 		s.t.calls++

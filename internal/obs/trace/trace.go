@@ -28,11 +28,22 @@ import (
 	"time"
 )
 
+// clock and randUint64 are the package's injected nondeterminism
+// seams: trace timing and IDs are observability metadata, never
+// analysis input, and routing them through package-level vars keeps
+// the transitive determinism lint exact about where wall time and
+// global randomness enter — callers in the scenario pipeline inherit
+// no taint from instrumenting. Tests freeze them for stable output.
+var (
+	clock      = time.Now
+	randUint64 = rand.Uint64
+)
+
 // NewTraceID returns a fresh 16-hex-digit trace ID.
-func NewTraceID() string { return formatID(rand.Uint64()) }
+func NewTraceID() string { return formatID(randUint64()) }
 
 // NewSpanID returns a fresh 16-hex-digit span ID.
-func NewSpanID() string { return formatID(rand.Uint64()) }
+func NewSpanID() string { return formatID(randUint64()) }
 
 // formatID renders a non-zero 64-bit ID as fixed-width hex.
 func formatID(v uint64) string {
@@ -123,7 +134,7 @@ func (s *Span) End() time.Duration {
 		return 0
 	}
 	s.ended = true
-	d := time.Since(s.start)
+	d := clock().Sub(s.start)
 	if s.region != nil {
 		s.region.End()
 	}
@@ -162,13 +173,13 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	s := &Span{
 		store:   parent.store,
 		sampled: parent.sampled,
-		start:   time.Now(),
+		start:   clock(),
 		rec: SpanRecord{
 			TraceID:  parent.rec.TraceID,
 			SpanID:   NewSpanID(),
 			ParentID: parent.rec.SpanID,
 			Name:     name,
-			Start:    time.Now(),
+			Start:    clock(),
 		},
 	}
 	if rt.IsEnabled() {
@@ -269,12 +280,12 @@ func (st *Store) Root(ctx context.Context, name, traceID string) (context.Contex
 	s := &Span{
 		store:   st,
 		sampled: sampled,
-		start:   time.Now(),
+		start:   clock(),
 		rec: SpanRecord{
 			TraceID: traceID,
 			SpanID:  NewSpanID(),
 			Name:    name,
-			Start:   time.Now(),
+			Start:   clock(),
 		},
 	}
 	if rt.IsEnabled() {

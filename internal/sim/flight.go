@@ -158,6 +158,12 @@ func (fr *flightRecorder) emit(kind string, value float64, detail string) {
 	ev := FlightEvent{K: fr.k, Kind: kind, Value: value, Detail: detail}
 	fr.events = append(fr.events, ev)
 	if fr.sink != nil {
+		// The FlightSink contract (sink.go) already passes ev by value
+		// through an interface method — the dispatch itself does not box,
+		// and sinks that buffer or encode (follow mode's JSON encoder)
+		// pay their allocations outside the recorder's budget, on an
+		// explicitly opted-in path.
+		//safesense:allow hotpathalloc sink implementations own their allocation budget; follow-mode encoding is opt-in
 		fr.sink.FlightEvent(ev)
 	}
 }
