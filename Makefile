@@ -5,7 +5,7 @@ GO ?= go
 # without letting coverage rot.
 COVER_MIN ?= 78
 
-.PHONY: all build test race race-hot vet fmt-check lint lint-self lint-json fuzz-smoke dist-smoke stream-smoke forensic-smoke bench bench-smoke bench-check bench-capture perf-baseline cover check
+.PHONY: all build test race race-hot vet fmt-check lint lint-self lint-json fuzz-smoke dist-smoke stream-smoke forensic-smoke profile-smoke bench bench-smoke bench-check bench-capture perf-baseline cover check
 
 all: check
 
@@ -59,6 +59,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeLease -fuzztime=$(FUZZ_TIME) ./internal/dist
 	$(GO) test -run='^$$' -fuzz=FuzzSSEFrame -fuzztime=$(FUZZ_TIME) ./internal/obs/stream
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeCapture -fuzztime=$(FUZZ_TIME) ./internal/obs/forensic
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeProfile -fuzztime=$(FUZZ_TIME) ./internal/obs/profile
 
 # dist-smoke is the distributed-execution gate: an in-process
 # coordinator plus two pull workers shard a 64-job campaign over the
@@ -85,6 +86,16 @@ stream-smoke:
 # byte-identical to the single-node oracle.
 forensic-smoke:
 	$(GO) test -race -run='^TestForensicSmoke$$' -count=1 -v ./internal/dist
+
+# profile-smoke is the continuous-profiling gate: a signal-level
+# root-MUSIC figure scenario runs under the CPU profiler with phase
+# labels enabled, the capture is decoded by the repo's own pprof
+# reader, and beat_extraction must come out as the largest labeled
+# phase with shares summing to one. The decoded summary lands in
+# profile-summary.json for the CI artifact.
+profile-smoke:
+	PROFILE_SMOKE_OUT=$(CURDIR)/profile-summary.json \
+		$(GO) test -run='^TestProfileSmoke$$' -count=1 -v ./internal/sim
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

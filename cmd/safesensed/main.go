@@ -96,7 +96,9 @@ import (
 
 	"safesense/internal/dist"
 	"safesense/internal/obs/forensic"
+	"safesense/internal/obs/profile"
 	"safesense/internal/obs/stream"
+	"safesense/internal/sim"
 )
 
 // options carries the parsed command line into run.
@@ -124,6 +126,11 @@ type options struct {
 	workerID         string
 	pollInterval     time.Duration
 	progressInterval time.Duration
+
+	// Continuous profiler.
+	profileInterval time.Duration
+	profileWindow   time.Duration
+	profileBudget   int64
 }
 
 func main() {
@@ -145,6 +152,9 @@ func main() {
 	flag.StringVar(&o.workerID, "worker-id", "", "worker identifier reported to the coordinator (default <hostname>-<pid>)")
 	flag.DurationVar(&o.pollInterval, "poll-interval", 0, "worker idle wait between lease pulls (0 = worker default)")
 	flag.DurationVar(&o.progressInterval, "progress-interval", 0, "worker mid-lease progress reporting interval (0 = worker default, negative disables)")
+	flag.DurationVar(&o.profileInterval, "profile-interval", 0, "continuous profiler: time between CPU capture windows (0 = disabled)")
+	flag.DurationVar(&o.profileWindow, "profile-window", 0, "continuous profiler: capture window length (0 = 10s default, clamped to the interval)")
+	flag.Int64Var(&o.profileBudget, "profile-budget-bytes", 0, "resident profile-capture budget in bytes (0 = 32 MiB default)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -165,8 +175,13 @@ func newLogger(format string) (*slog.Logger, error) {
 	}
 }
 
-// pprofMux builds the private profiling mux: net/http/pprof plus expvar
-// (where the obs registry is published).
+// pprofMux builds the private profiling mux: the full net/http/pprof
+// handler set plus expvar (where the obs registry is published). The
+// runtime-profile handlers (allocs, heap, goroutine, block, mutex,
+// threadcreate) are registered explicitly — the Index fallback alone
+// only covers them when the default mux is used, and the delta forms
+// (e.g. /debug/pprof/allocs?seconds=5) are the ones that matter for a
+// long-running daemon. Query params are documented in the README.
 func pprofMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -174,8 +189,38 @@ func pprofMux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, p := range []string{"allocs", "heap", "goroutine", "block", "mutex", "threadcreate"} {
+		mux.Handle("/debug/pprof/"+p, pprof.Handler(p))
+	}
 	mux.Handle("/debug/vars", expvar.Handler())
 	return mux
+}
+
+// startProfiler launches the continuous profiler when -profile-interval
+// is set, returning the capture store the HTTP endpoints serve (nil
+// when disabled). The goroutine exits when ctx is canceled and is
+// drained through wg, so shutdown provably terminates it.
+func startProfiler(ctx context.Context, o options, logger *slog.Logger, wg *sync.WaitGroup) *profile.Store {
+	if o.profileInterval <= 0 {
+		return nil
+	}
+	store := profile.NewStore(profile.StoreOptions{
+		BudgetBytes: o.profileBudget,
+		Log:         logger.With("subsys", "profile"),
+	})
+	prof := profile.NewProfiler(profile.ProfilerOptions{
+		Interval: o.profileInterval,
+		Window:   o.profileWindow,
+		Store:    store,
+		Log:      logger.With("subsys", "profile"),
+		Phases:   sim.PhaseNames(),
+	})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = prof.Run(ctx)
+	}()
+	return store
 }
 
 // newCoordinator builds the dist coordinator for this process, replaying
@@ -248,6 +293,15 @@ func run(o options) error {
 		return err
 	}
 	defer closeCheckpoint()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// workerWG drains every background goroutine (dist worker, continuous
+	// profiler) at shutdown.
+	var workerWG sync.WaitGroup
+	profiles := startProfiler(ctx, o, logger, &workerWG)
+
 	srv := NewServer(Config{
 		Workers:            o.workers,
 		MaxCampaigns:       o.maxCampaigns,
@@ -258,6 +312,7 @@ func run(o options) error {
 		Streams:            hub,
 		Forensic:           store,
 		ForensicLatencyPct: o.forensicPct,
+		Profiles:           profiles,
 	})
 	hs := &http.Server{
 		Addr:              o.addr,
@@ -265,10 +320,6 @@ func run(o options) error {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	var workerWG sync.WaitGroup
 	if o.join != "" {
 		w, err := dist.NewWorker(dist.WorkerConfig{
 			Coordinator:      o.join,

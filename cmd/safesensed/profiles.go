@@ -1,0 +1,80 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"safesense/internal/obs/profile"
+)
+
+// errProfilingDisabled is the 404 body when no capture store is wired
+// (the process was started without -profile-interval).
+var errProfilingDisabled = errors.New("continuous profiling disabled (start with -profile-interval)")
+
+// ProfilesResponse lists the resident captures, most recent first.
+type ProfilesResponse struct {
+	Profiles []profile.Capture `json:"profiles"`
+	Total    int               `json:"total"`
+}
+
+// handleProfiles serves GET /v1/profiles: every resident capture's
+// metadata (summaries included — they are small and precomputed).
+func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Profiles == nil {
+		writeError(w, r, http.StatusNotFound, errProfilingDisabled)
+		return
+	}
+	list := s.cfg.Profiles.List()
+	writeJSON(w, http.StatusOK, ProfilesResponse{Profiles: list, Total: len(list)})
+}
+
+// handleProfile serves GET /v1/profiles/{id}: the raw pprof bytes,
+// ready for `go tool pprof http://.../v1/profiles/<id>`.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Profiles == nil {
+		writeError(w, r, http.StatusNotFound, errProfilingDisabled)
+		return
+	}
+	id := r.PathValue("id")
+	meta, raw, ok := s.cfg.Profiles.Get(id)
+	if !ok {
+		writeError(w, r, http.StatusNotFound, fmt.Errorf("no profile capture %q", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", meta.Kind+"-"+shortID(meta.ID)+".pprof"))
+	_, _ = w.Write(raw)
+}
+
+// ProfileSummaryResponse is one capture's digest.
+type ProfileSummaryResponse struct {
+	Capture profile.Capture  `json:"capture"`
+	Summary *profile.Summary `json:"summary"`
+}
+
+// handleProfileSummary serves GET /v1/profiles/{id}/summary: the
+// capture's provenance stamps plus the decoded top-N/phase-share
+// digest.
+func (s *Server) handleProfileSummary(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Profiles == nil {
+		writeError(w, r, http.StatusNotFound, errProfilingDisabled)
+		return
+	}
+	id := r.PathValue("id")
+	meta, _, ok := s.cfg.Profiles.Get(id)
+	if !ok {
+		writeError(w, r, http.StatusNotFound, fmt.Errorf("no profile capture %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, ProfileSummaryResponse{Capture: meta, Summary: meta.Summary})
+}
+
+// shortID abbreviates a content hash for filenames.
+func shortID(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
+}

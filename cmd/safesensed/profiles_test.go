@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"safesense/internal/obs/profile"
+)
+
+// testCapture fabricates a deterministic pprof capture and stores it.
+func testCapture(t *testing.T, store *profile.Store) profile.Capture {
+	t.Helper()
+	p := &profile.Profile{
+		SampleType: []profile.ValueType{{Type: "cpu", Unit: "nanoseconds"}},
+		Sample: []profile.Sample{{
+			LocationID: []uint64{1},
+			Value:      []int64{5_000_000},
+			Label:      []profile.Label{{Key: profile.LabelPhase, Str: "beat_extraction"}},
+		}},
+		Location: []profile.Location{{ID: 1, Line: []profile.Line{{FunctionID: 1, Line: 10}}}},
+		Function: []profile.Function{{ID: 1, Name: "radar.MUSICExtractor.Extract"}},
+	}
+	raw := profile.MarshalGzip(p)
+	sum, err := profile.Summarize(p, profile.SummaryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, fresh := store.Put(raw, "cpu", int64(10*time.Second), sum)
+	if !fresh {
+		t.Fatal("fixture capture deduped unexpectedly")
+	}
+	return meta
+}
+
+func TestProfilesEndpointsDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, path := range []string{"/v1/profiles", "/v1/profiles/abc", "/v1/profiles/abc/summary"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s without a store: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestProfilesListAndFetch(t *testing.T) {
+	store := profile.NewStore(profile.StoreOptions{})
+	meta := testCapture(t, store)
+	_, ts := newTestServer(t, Config{Profiles: store})
+
+	resp, err := http.Get(ts.URL + "/v1/profiles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := decodeJSON[ProfilesResponse](t, resp, http.StatusOK)
+	if list.Total != 1 || len(list.Profiles) != 1 || list.Profiles[0].ID != meta.ID {
+		t.Fatalf("list = %+v", list)
+	}
+	if list.Profiles[0].Summary == nil {
+		t.Fatal("listing dropped the precomputed summary")
+	}
+
+	// Raw bytes round-trip: the download must decode as the original.
+	resp, err = http.Get(ts.URL + "/v1/profiles/" + meta.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("raw fetch: status %d err %v", resp.StatusCode, err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !bytes.HasPrefix(raw, []byte{0x1f, 0x8b}) {
+		t.Fatal("raw capture lost its gzip framing")
+	}
+	if _, err := profile.Decode(raw); err != nil {
+		t.Fatalf("downloaded capture undecodable: %v", err)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/profiles/" + meta.ID + "/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := decodeJSON[ProfileSummaryResponse](t, resp, http.StatusOK)
+	if sum.Capture.ID != meta.ID || sum.Summary == nil {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if got := sum.Summary.PhaseShare("beat_extraction"); got != 1 {
+		t.Fatalf("beat_extraction share = %v", got)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/profiles/deadbeef/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id: status %d", resp.StatusCode)
+	}
+}
+
+// TestStartProfilerLifecycle covers the safesensed wiring: the
+// background profiler starts when an interval is set, feeds the store,
+// and exits through the shared WaitGroup on shutdown (run under -race
+// via make race-hot).
+func TestStartProfilerLifecycle(t *testing.T) {
+	o := options{
+		profileInterval: 40 * time.Millisecond,
+		profileWindow:   20 * time.Millisecond,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	store := startProfiler(ctx, o, logger, &wg)
+	if store == nil {
+		t.Fatal("startProfiler returned no store despite an interval")
+	}
+	deadline := 200
+	for store.Len() == 0 && deadline > 0 {
+		time.Sleep(10 * time.Millisecond)
+		deadline--
+	}
+	if store.Len() == 0 {
+		t.Fatal("no capture landed before the deadline")
+	}
+	cancel()
+	wg.Wait() // must return promptly: the profiler goroutine terminates
+
+	if s := startProfiler(context.Background(), options{}, logger, &wg); s != nil {
+		t.Fatal("startProfiler built a store with profiling disabled")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"safesense/internal/dist"
 	"safesense/internal/obs"
 	"safesense/internal/obs/forensic"
+	"safesense/internal/obs/profile"
 	"safesense/internal/obs/stream"
 	obstrace "safesense/internal/obs/trace"
 	"safesense/internal/report"
@@ -64,6 +65,10 @@ type Config struct {
 	// ForensicLatencyPct additionally captures local-campaign jobs whose
 	// wall time exceeds this percentile of recent jobs (0 disables).
 	ForensicLatencyPct float64
+	// Profiles is the continuous-profiler capture store behind GET
+	// /v1/profiles. Nil means the endpoints report 404 (profiling
+	// disabled); main wires a store when -profile-interval > 0.
+	Profiles *profile.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -219,6 +224,11 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/anomalies", s.handleAnomalies)
 	s.mux.HandleFunc("GET /v1/anomalies/{hash}", s.handleAnomaly)
 	s.mux.HandleFunc("POST /v1/anomalies/{hash}/replay", s.handleAnomalyReplay)
+	// Continuous profiling: the capture store the background profiler
+	// fills when -profile-interval is set.
+	s.mux.HandleFunc("GET /v1/profiles", s.handleProfiles)
+	s.mux.HandleFunc("GET /v1/profiles/{id}", s.handleProfile)
+	s.mux.HandleFunc("GET /v1/profiles/{id}/summary", s.handleProfileSummary)
 	// Distributed campaigns: coordinator endpoints under /v1/dist/,
 	// behind the same observability middleware as every other route.
 	s.cfg.Dist.Register(s.mux)

@@ -4,9 +4,17 @@
 // Usage:
 //
 //	safesim [-attack none|dos|delay] [-defended] [-steps N] [-seed S]
-//	        [-offset M] [-onset K] [-leader const|phased] [-csv FILE]
+//	        [-offset M] [-onset K] [-leader const|phased]
+//	        [-signal] [-extractor fft|music] [-csv FILE]
 //	        [-events-out FILE] [-follow] [-timing] [-profile-dir DIR]
-//	        [-forensic-dir DIR] [-replay HASH]
+//	        [-profile-summary] [-forensic-dir DIR] [-replay HASH]
+//
+// -signal swaps the closed-form measurement model for the high-fidelity
+// dechirped-sweep pipeline (synthesize the sweep, extract beat
+// frequencies, invert to range/velocity); -extractor picks the beat
+// extractor — the FFT periodogram (default) or the paper's root-MUSIC
+// (music), which dominates the run's CPU and is the interesting subject
+// for -profile-dir/-profile-summary.
 //
 // -forensic-dir persists a forensic capture of the run (grid point,
 // flight timeline, anomaly state dumps, phase timings) into the anomaly
@@ -24,7 +32,13 @@
 //
 // -profile-dir writes pprof profiles of the run for offline analysis
 // (`go tool pprof DIR/cpu.pprof`): cpu.pprof covers the simulation
-// itself, heap.pprof is an end-of-run allocation snapshot. For the
+// itself, heap.pprof is an end-of-run allocation snapshot. Profiled runs
+// carry pprof phase labels, so samples attribute to the pipeline phases
+// (radar_synthesis, beat_extraction, cra_check, rls_estimation,
+// vehicle_step). -profile-summary additionally decodes both files after
+// the run and prints the top functions, per-phase CPU shares, and alloc
+// hotspots to stderr — no `go tool pprof` round-trip needed — exiting
+// nonzero if the capture cannot be decoded. For the
 // long-running service, fetch the same profiles over HTTP from the
 // safesensed -pprof-addr mux instead: CPU via
 // /debug/pprof/profile?seconds=N (the seconds query parameter bounds
@@ -47,6 +61,8 @@ import (
 
 	"safesense/internal/campaign"
 	"safesense/internal/obs/forensic"
+	"safesense/internal/obs/profile"
+	"safesense/internal/radar"
 	"safesense/internal/sim"
 	"safesense/internal/trace"
 )
@@ -59,6 +75,8 @@ func main() {
 	offset := flag.Float64("offset", 6, "delay-injection distance offset in meters")
 	onset := flag.Int("onset", 182, "attack onset step")
 	leader := flag.String("leader", "const", "leader profile: const (Fig 2) or phased (Fig 3)")
+	signal := flag.Bool("signal", false, "run the high-fidelity signal-level radar pipeline (dechirped sweep synthesis + beat extraction)")
+	extractor := flag.String("extractor", "fft", "beat extractor for -signal mode: fft (periodogram) or music (root-MUSIC)")
 	csvPath := flag.String("csv", "", "write the distance trace set as CSV to this file")
 	eventsPath := flag.String("events-out", "", "write the flight-recorder event timeline as JSON Lines to this file (- for stdout)")
 	follow := flag.Bool("follow", false, "stream flight-recorder events to stderr as JSON Lines while the run executes")
@@ -66,6 +84,7 @@ func main() {
 	height := flag.Int("height", 20, "plot height")
 	timing := flag.Bool("timing", false, "print the per-phase timing breakdown next to the summary")
 	profileDir := flag.String("profile-dir", "", "write cpu.pprof and heap.pprof for this run into DIR")
+	profileSummary := flag.Bool("profile-summary", false, "decode the -profile-dir captures after the run and print top functions and phase CPU shares to stderr")
 	forensicDir := flag.String("forensic-dir", "", "persist a forensic capture of the run into this anomaly store directory and print its hash")
 	replayHash := flag.String("replay", "", "replay the capture with this hash from -forensic-dir and diff its flight timeline (exit 1 on divergence)")
 	flag.Parse()
@@ -85,12 +104,17 @@ func main() {
 		}
 		return
 	}
-	if err := validateFlags(*attackKind, *leader, *steps, *onset, *offset, *width, *height); err != nil {
+	if err := validateFlags(*attackKind, *leader, *extractor, *steps, *onset, *offset, *width, *height); err != nil {
 		fmt.Fprintln(os.Stderr, "safesim:", err)
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*attackKind, *leader, *csvPath, *eventsPath, *profileDir, *forensicDir, *defended, *timing, *follow, *steps, *seed, *offset, *onset, *width, *height); err != nil {
+	if *profileSummary && *profileDir == "" {
+		fmt.Fprintln(os.Stderr, "safesim: -profile-summary requires -profile-dir")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*attackKind, *leader, *extractor, *csvPath, *eventsPath, *profileDir, *forensicDir, *defended, *signal, *timing, *follow, *profileSummary, *steps, *seed, *offset, *onset, *width, *height); err != nil {
 		fmt.Fprintln(os.Stderr, "safesim:", err)
 		os.Exit(1)
 	}
@@ -98,7 +122,7 @@ func main() {
 
 // validateFlags rejects nonsensical flag combinations with a usage error
 // before any simulation work starts.
-func validateFlags(attackKind, leader string, steps, onset int, offset float64, width, height int) error {
+func validateFlags(attackKind, leader, extractor string, steps, onset int, offset float64, width, height int) error {
 	switch attackKind {
 	case "none", "dos", "delay":
 	default:
@@ -108,6 +132,11 @@ func validateFlags(attackKind, leader string, steps, onset int, offset float64, 
 	case "const", "phased":
 	default:
 		return fmt.Errorf("unknown -leader %q (want const or phased)", leader)
+	}
+	switch extractor {
+	case "fft", "music":
+	default:
+		return fmt.Errorf("unknown -extractor %q (want fft or music)", extractor)
 	}
 	if steps < 1 {
 		return fmt.Errorf("-steps must be >= 1, got %d", steps)
@@ -127,17 +156,18 @@ func validateFlags(attackKind, leader string, steps, onset int, offset float64, 
 	return nil
 }
 
-func run(attackKind, leader, csvPath, eventsPath, profileDir, forensicDir string, defended, timing, follow bool, steps int, seed int64, offset float64, onset, width, height int) error {
+func run(attackKind, leader, extractor, csvPath, eventsPath, profileDir, forensicDir string, defended, signal, timing, follow, profileSummary bool, steps int, seed int64, offset float64, onset, width, height int) error {
 	// The scenario is built through a campaign.Point so a -forensic-dir
 	// capture replays through the exact same construction path (the CLI
 	// vocabulary for attacks and leaders matches the campaign's).
 	point := campaign.Point{
-		Attack:   attackKind,
-		Leader:   leader,
-		Onset:    onset,
-		Steps:    steps,
-		Seed:     seed,
-		Defended: defended,
+		Attack:      attackKind,
+		Leader:      leader,
+		Onset:       onset,
+		Steps:       steps,
+		Seed:        seed,
+		Defended:    defended,
+		SignalLevel: signal,
 	}
 	if attackKind == "delay" {
 		point.OffsetM = offset
@@ -146,11 +176,22 @@ func run(attackKind, leader, csvPath, eventsPath, profileDir, forensicDir string
 	if err != nil {
 		return err
 	}
+	if signal && extractor == "music" {
+		// The extractor choice is a sim-level knob, not part of the
+		// campaign grid vocabulary, so it rides outside the Point.
+		s.Extractor = radar.MUSICExtractor{}
+	}
 	s.Name = fmt.Sprintf("safesim-%s-%s", attackKind, leader)
 
 	stopProfiles, err := startProfiles(profileDir)
 	if err != nil {
 		return err
+	}
+	if profileDir != "" {
+		// Label the run's goroutines so cpu.pprof samples attribute to
+		// the pipeline phases.
+		profile.Enable()
+		defer profile.Disable()
 	}
 	ctx := context.Background()
 	if follow {
@@ -168,6 +209,11 @@ func run(attackKind, leader, csvPath, eventsPath, profileDir, forensicDir string
 	if profileDir != "" {
 		fmt.Printf("wrote %s and %s\n",
 			filepath.Join(profileDir, "cpu.pprof"), filepath.Join(profileDir, "heap.pprof"))
+		if profileSummary {
+			if err := printProfileSummary(os.Stderr, profileDir); err != nil {
+				return fmt.Errorf("profile summary: %w", err)
+			}
+		}
 	}
 	opt := trace.PlotOptions{Width: width, Height: height}
 	if err := res.Distance.RenderASCII(os.Stdout, opt); err != nil {
@@ -305,6 +351,43 @@ func startProfiles(dir string) (func() error, error) {
 		runtime.GC()
 		return pprof.WriteHeapProfile(heap)
 	}, nil
+}
+
+// printProfileSummary decodes the run's cpu.pprof and heap.pprof with
+// the in-repo pprof reader and prints the top functions, per-phase CPU
+// shares, and alloc hotspots — the -profile-summary report. Any decode
+// failure is returned (the CLI exits nonzero): an unreadable capture is
+// worse than none, because it looks like evidence.
+func printProfileSummary(w io.Writer, dir string) error {
+	raw, err := os.ReadFile(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return err
+	}
+	p, err := profile.Decode(raw)
+	if err != nil {
+		return fmt.Errorf("decoding cpu.pprof: %w", err)
+	}
+	sum, err := profile.Summarize(p, profile.SummaryOptions{})
+	if err != nil {
+		return fmt.Errorf("summarizing cpu.pprof: %w", err)
+	}
+	profile.FormatSummary(w, sum)
+
+	raw, err = os.ReadFile(filepath.Join(dir, "heap.pprof"))
+	if err != nil {
+		return err
+	}
+	hp, err := profile.Decode(raw)
+	if err != nil {
+		return fmt.Errorf("decoding heap.pprof: %w", err)
+	}
+	hsum, err := profile.Summarize(hp, profile.SummaryOptions{SampleType: "alloc_space"})
+	if err != nil {
+		return fmt.Errorf("summarizing heap.pprof: %w", err)
+	}
+	fmt.Fprintln(w, "alloc hotspots:")
+	profile.FormatSummary(w, hsum)
+	return nil
 }
 
 // followSink is the -follow live tap: one JSON line per flight event,

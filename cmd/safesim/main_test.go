@@ -16,14 +16,14 @@ import (
 func TestValidateFlags(t *testing.T) {
 	ok := func(attack, leader string, steps, onset int, offset float64) {
 		t.Helper()
-		if err := validateFlags(attack, leader, steps, onset, offset, 96, 20); err != nil {
+		if err := validateFlags(attack, leader, "fft", steps, onset, offset, 96, 20); err != nil {
 			t.Errorf("validateFlags(%s, %s, %d, %d, %g) = %v, want nil",
 				attack, leader, steps, onset, offset, err)
 		}
 	}
 	bad := func(name, attack, leader string, steps, onset int, offset float64) {
 		t.Helper()
-		if err := validateFlags(attack, leader, steps, onset, offset, 96, 20); err == nil {
+		if err := validateFlags(attack, leader, "fft", steps, onset, offset, 96, 20); err == nil {
 			t.Errorf("%s: want usage error", name)
 		}
 	}
@@ -40,7 +40,13 @@ func TestValidateFlags(t *testing.T) {
 	bad("onset beyond horizon", "dos", "const", 100, 100, 6)
 	bad("non-positive delay offset", "delay", "const", 301, 180, 0)
 
-	if err := validateFlags("dos", "const", 301, 182, 6, 1, 20); err == nil {
+	if err := validateFlags("dos", "const", "music", 301, 182, 6, 96, 20); err != nil {
+		t.Errorf("music extractor rejected: %v", err)
+	}
+	if err := validateFlags("dos", "const", "welch", 301, 182, 6, 96, 20); err == nil {
+		t.Error("unknown extractor should be rejected")
+	}
+	if err := validateFlags("dos", "const", "fft", 301, 182, 6, 1, 20); err == nil {
 		t.Error("tiny plot should be rejected")
 	}
 }

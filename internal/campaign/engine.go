@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"safesense/internal/obs/profile"
 	obstrace "safesense/internal/obs/trace"
 	"safesense/internal/sim"
 	"safesense/internal/stats"
@@ -50,6 +51,11 @@ type Options struct {
 	// forensic.Capture and handed to the sink, concurrently from the
 	// pool workers. See ForensicOptions.
 	Forensic *ForensicOptions
+	// ProfileCampaign labels each job's CPU samples with this campaign
+	// name (pprof "campaign" label) when a profile consumer is active.
+	// Honored by RunJobs — distributed workers pass the lease's campaign
+	// ID — while Run stamps the spec name itself.
+	ProfileCampaign string
 	// Log receives the engine's structured records. Every record carries
 	// the job's index and seed, so log lines from concurrent sweeps can
 	// be tied back to a reproducible scenario. Nil discards.
@@ -253,7 +259,7 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Summary, error) {
 	}
 
 	capt := newRunCapturer(opt, spec)
-	outcomes, err := runPool(ctx, jobs, workers, logger, func(o Outcome, j Job, res *sim.Result, jobTime time.Duration) {
+	outcomes, err := runPool(ctx, jobs, workers, logger, spec.Name, func(o Outcome, j Job, res *sim.Result, jobTime time.Duration) {
 		slowest.insert(JobTiming{
 			Index: o.Index, Seed: o.Point.Seed,
 			Label: o.Label, Seconds: jobTime.Seconds(),
@@ -333,7 +339,7 @@ func RunJobs(ctx context.Context, jobs []Job, opt Options) ([]Outcome, error) {
 			}
 		}
 	}
-	return runPool(ctx, jobs, workers, logger, onDone)
+	return runPool(ctx, jobs, workers, logger, opt.ProfileCampaign, onDone)
 }
 
 // runPool is the one worker-pool implementation behind both Run (a full
@@ -343,8 +349,9 @@ func RunJobs(ctx context.Context, jobs []Job, opt Options) ([]Outcome, error) {
 // onDone, when non-nil, is called concurrently after every successful job
 // with the outcome, the job, the full sim result (valid only for the
 // duration of the call's use — the engine itself retains nothing), and
-// the job's wall time.
-func runPool(ctx context.Context, jobs []Job, workers int, logger *slog.Logger, onDone func(Outcome, Job, *sim.Result, time.Duration)) ([]Outcome, error) {
+// the job's wall time. campaignName labels each job's CPU samples
+// (pprof campaign/job labels) when a profile consumer is active.
+func runPool(ctx context.Context, jobs []Job, workers int, logger *slog.Logger, campaignName string, onDone func(Outcome, Job, *sim.Result, time.Duration)) ([]Outcome, error) {
 	type feedItem struct {
 		pos int
 		job Job
@@ -382,7 +389,15 @@ func runPool(ctx context.Context, jobs []Job, workers int, logger *slog.Logger, 
 				s, err := j.Point.Scenario()
 				if err == nil {
 					var res *sim.Result
-					res, err = sim.RunContext(jobCtx, s)
+					if profile.Enabled() {
+						// Tag the job's CPU samples; the sim's own phase
+						// labels merge on top inside RunContext.
+						profile.DoJob(jobCtx, campaignName, j.Index, func(c context.Context) {
+							res, err = sim.RunContext(c, s)
+						})
+					} else {
+						res, err = sim.RunContext(jobCtx, s)
+					}
 					if err == nil {
 						_, aspan := obstrace.StartSpan(jobCtx, "campaign.aggregate")
 						outcomes[it.pos] = outcomeOf(j, res)

@@ -63,6 +63,12 @@ var Determinism = &Analyzer{
 		// sequence counter (never wall time) and listings sort before
 		// they serialize.
 		"internal/obs/forensic",
+		// The pprof decoder/encoder must be a pure function of its input
+		// bytes (summaries are diffed across hosts and the golden-fixture
+		// test byte-compares output), and the continuous profiler's store
+		// orders captures by a logical sequence counter — wall time enters
+		// only through the injected clock seam on the capture stamp.
+		"internal/obs/profile",
 	},
 	Run: runDeterminism,
 }

@@ -1,0 +1,156 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// FuncDelta is one function's share movement between two captures.
+// Shares (fractions of each capture's own total) are compared rather
+// than raw values because the two windows rarely cover the same wall
+// time or sample count.
+type FuncDelta struct {
+	Name        string  `json:"name"`
+	BeforeShare float64 `json:"before_share"`
+	AfterShare  float64 `json:"after_share"`
+	DeltaShare  float64 `json:"delta_share"`
+	BeforeFlat  int64   `json:"before_flat"`
+	AfterFlat   int64   `json:"after_flat"`
+}
+
+// PhaseDelta is one phase label's share movement.
+type PhaseDelta struct {
+	Phase       string  `json:"phase"`
+	BeforeShare float64 `json:"before_share"`
+	AfterShare  float64 `json:"after_share"`
+	DeltaShare  float64 `json:"delta_share"`
+}
+
+// DiffReport compares two capture summaries. Scope: the function rows
+// cover the union of the two summaries' top tables (a function outside
+// both top-N lists cannot appear), which is exactly the "what grew"
+// question the perf gate asks.
+type DiffReport struct {
+	SampleType  string       `json:"sample_type"`
+	BeforeTotal int64        `json:"before_total"`
+	AfterTotal  int64        `json:"after_total"`
+	Funcs       []FuncDelta  `json:"funcs,omitempty"`
+	Phases      []PhaseDelta `json:"phases,omitempty"`
+}
+
+// Diff compares before/after summaries by flat share, largest growth
+// first (ties broken by name for determinism).
+func Diff(before, after *Summary) *DiffReport {
+	rep := &DiffReport{
+		SampleType:  after.SampleType,
+		BeforeTotal: before.Total,
+		AfterTotal:  after.Total,
+	}
+	type sides struct {
+		beforeShare, afterShare float64
+		beforeFlat, afterFlat   int64
+	}
+	funcs := map[string]*sides{}
+	at := func(name string) *sides {
+		s := funcs[name]
+		if s == nil {
+			s = &sides{}
+			funcs[name] = s
+		}
+		return s
+	}
+	for _, f := range before.Top {
+		s := at(f.Name)
+		s.beforeShare, s.beforeFlat = f.FlatShare, f.Flat
+	}
+	for _, f := range after.Top {
+		s := at(f.Name)
+		s.afterShare, s.afterFlat = f.FlatShare, f.Flat
+	}
+	var funcRows []FuncDelta
+	for name, s := range funcs {
+		funcRows = append(funcRows, FuncDelta{
+			Name:        name,
+			BeforeShare: s.beforeShare,
+			AfterShare:  s.afterShare,
+			DeltaShare:  s.afterShare - s.beforeShare,
+			BeforeFlat:  s.beforeFlat,
+			AfterFlat:   s.afterFlat,
+		})
+	}
+	sort.Slice(funcRows, func(i, j int) bool {
+		if funcRows[i].DeltaShare != funcRows[j].DeltaShare {
+			return funcRows[i].DeltaShare > funcRows[j].DeltaShare
+		}
+		return funcRows[i].Name < funcRows[j].Name
+	})
+	rep.Funcs = funcRows
+
+	phases := map[string]*sides{}
+	pat := func(name string) *sides {
+		s := phases[name]
+		if s == nil {
+			s = &sides{}
+			phases[name] = s
+		}
+		return s
+	}
+	for _, p := range before.Phases {
+		pat(p.Value).beforeShare = p.Share
+	}
+	for _, p := range after.Phases {
+		pat(p.Value).afterShare = p.Share
+	}
+	var phaseRows []PhaseDelta
+	for name, s := range phases {
+		phaseRows = append(phaseRows, PhaseDelta{
+			Phase:       name,
+			BeforeShare: s.beforeShare,
+			AfterShare:  s.afterShare,
+			DeltaShare:  s.afterShare - s.beforeShare,
+		})
+	}
+	sort.Slice(phaseRows, func(i, j int) bool {
+		if phaseRows[i].DeltaShare != phaseRows[j].DeltaShare {
+			return phaseRows[i].DeltaShare > phaseRows[j].DeltaShare
+		}
+		return phaseRows[i].Phase < phaseRows[j].Phase
+	})
+	rep.Phases = phaseRows
+	return rep
+}
+
+// Growers returns the function deltas that grew by at least
+// minDeltaShare (e.g. 0.01 for one percentage point), largest first —
+// the rows the perf gate attaches to a regression.
+func (r *DiffReport) Growers(minDeltaShare float64) []FuncDelta {
+	var out []FuncDelta
+	for _, f := range r.Funcs {
+		if f.DeltaShare >= minDeltaShare && f.DeltaShare > 0 {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// FormatDiff renders the report as the text table safesense-perf
+// profile-diff prints.
+func FormatDiff(w io.Writer, r *DiffReport) {
+	fmt.Fprintf(w, "profile diff (%s): before total %d, after total %d\n",
+		r.SampleType, r.BeforeTotal, r.AfterTotal)
+	if len(r.Phases) > 0 {
+		fmt.Fprintln(w, "phase share deltas:")
+		for _, p := range r.Phases {
+			fmt.Fprintf(w, "  %+7.2f%%  %6.2f%% -> %6.2f%%  %s\n",
+				p.DeltaShare*100, p.BeforeShare*100, p.AfterShare*100, p.Phase)
+		}
+	}
+	if len(r.Funcs) > 0 {
+		fmt.Fprintln(w, "function flat-share deltas:")
+		for _, f := range r.Funcs {
+			fmt.Fprintf(w, "  %+7.2f%%  %6.2f%% -> %6.2f%%  %s\n",
+				f.DeltaShare*100, f.BeforeShare*100, f.AfterShare*100, f.Name)
+		}
+	}
+}

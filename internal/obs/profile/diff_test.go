@@ -1,0 +1,73 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+)
+
+func diffSummaries(t *testing.T) (*Summary, *Summary) {
+	t.Helper()
+	before, err := Summarize(testProfile(), SummaryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After: the extractor's flat time doubles, everything else fixed.
+	p := testProfile()
+	p.Sample[0].Value[1] = 60_000_000
+	after, err := Summarize(p, SummaryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return before, after
+}
+
+func TestDiffRanksGrowth(t *testing.T) {
+	before, after := diffSummaries(t)
+	rep := Diff(before, after)
+	if rep.SampleType != "cpu" {
+		t.Fatalf("sample type = %s", rep.SampleType)
+	}
+	if rep.BeforeTotal != 60_000_000 || rep.AfterTotal != 90_000_000 {
+		t.Fatalf("totals = %d -> %d", rep.BeforeTotal, rep.AfterTotal)
+	}
+	if len(rep.Funcs) == 0 || rep.Funcs[0].Name != "radar.MUSICExtractor.Extract" {
+		t.Fatalf("largest grower = %+v", rep.Funcs)
+	}
+	// 30/60 -> 60/90: +1/6 share.
+	if d := rep.Funcs[0].DeltaShare; d < 0.16 || d > 0.17 {
+		t.Fatalf("delta share = %v", d)
+	}
+	// Every other function's share shrank (same flat, larger total).
+	for _, fd := range rep.Funcs[1:] {
+		if fd.DeltaShare > 0 {
+			t.Fatalf("unexpected grower %+v", fd)
+		}
+	}
+	if len(rep.Phases) == 0 || rep.Phases[0].Phase != "beat_extraction" {
+		t.Fatalf("phase deltas = %+v", rep.Phases)
+	}
+}
+
+func TestGrowersThreshold(t *testing.T) {
+	before, after := diffSummaries(t)
+	rep := Diff(before, after)
+	grown := rep.Growers(0.01)
+	if len(grown) != 1 || grown[0].Name != "radar.MUSICExtractor.Extract" {
+		t.Fatalf("growers = %+v", grown)
+	}
+	if got := rep.Growers(0.5); len(got) != 0 {
+		t.Fatalf("growers above 50pp = %+v", got)
+	}
+}
+
+func TestFormatDiff(t *testing.T) {
+	before, after := diffSummaries(t)
+	var b strings.Builder
+	FormatDiff(&b, Diff(before, after))
+	out := b.String()
+	for _, want := range []string{"profile diff (cpu)", "phase share deltas", "function flat-share deltas", "radar.MUSICExtractor.Extract"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package profile
+
+import (
+	"os"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeProfile hammers the wire decoder with mutated captures. Two
+// oracles: Decode must never panic (bounded input, strict structure
+// checks), and any input it accepts must be idempotent under the
+// canonical encoder — decode(Marshal(decode(x))) == decode(x) — so the
+// decoder and encoder can never drift apart on a representable profile.
+func FuzzDecodeProfile(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x1f, 0x8b})
+	f.Add(Marshal(testProfile()))
+	f.Add(MarshalGzip(testProfile()))
+	f.Add(Marshal(&Profile{SampleType: []ValueType{{Type: "cpu", Unit: "nanoseconds"}}}))
+	if golden, err := os.ReadFile(goldenCapture); err == nil {
+		f.Add(golden)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("bounded: continuous captures are a few hundred KiB")
+		}
+		p, err := Decode(data)
+		if err != nil {
+			return
+		}
+		again, err := Decode(Marshal(p))
+		if err != nil {
+			t.Fatalf("re-decode of accepted profile failed: %v", err)
+		}
+		if !reflect.DeepEqual(again, p) {
+			t.Fatalf("decode/encode not idempotent:\nfirst  %+v\nsecond %+v", p, again)
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSummarizePhaseSharesAndTop(t *testing.T) {
+	sum, err := Summarize(testProfile(), SummaryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.SampleType != "cpu" || sum.Unit != "nanoseconds" {
+		t.Fatalf("selected %s/%s, want cpu/nanoseconds (default_sample_type)", sum.SampleType, sum.Unit)
+	}
+	if sum.Total != 60_000_000 || sum.TotalSamples != 3 {
+		t.Fatalf("total = %d over %d samples", sum.Total, sum.TotalSamples)
+	}
+	var shareSum float64
+	shares := map[string]float64{}
+	for _, p := range sum.Phases {
+		shareSum += p.Share
+		shares[p.Value] = p.Share
+	}
+	if shareSum < 0.999 || shareSum > 1.001 {
+		t.Fatalf("phase shares sum to %v, want 1", shareSum)
+	}
+	if shares["beat_extraction"] != 0.5 || shares[Unlabeled] <= 0 {
+		t.Fatalf("phase shares = %v", shares)
+	}
+	// Phases are descending by total; beat_extraction (30ms) leads.
+	if sum.Phases[0].Value != "beat_extraction" {
+		t.Fatalf("largest phase = %s", sum.Phases[0].Value)
+	}
+	// Non-phase label keys are listed without value enumeration.
+	if len(sum.LabelKeys) != 1 || sum.LabelKeys[0] != LabelJob {
+		t.Fatalf("label keys = %v", sum.LabelKeys)
+	}
+	if len(sum.Top) == 0 {
+		t.Fatal("empty top table")
+	}
+	// Flat attribution goes to the leaf location's innermost frame:
+	// sample 1 (30ms) leafs at location 1 -> MUSICExtractor.Extract.
+	if sum.Top[0].Name != "radar.MUSICExtractor.Extract" {
+		t.Fatalf("top flat = %s (%+v)", sum.Top[0].Name, sum.Top)
+	}
+	if sum.Top[0].Flat != 30_000_000 || sum.Top[0].FlatShare != 0.5 {
+		t.Fatalf("top row = %+v", sum.Top[0])
+	}
+	if got := sum.PhaseShare("beat_extraction"); got != 0.5 {
+		t.Fatalf("PhaseShare = %v", got)
+	}
+	if got := sum.PhaseShare("no_such_phase"); got != 0 {
+		t.Fatalf("PhaseShare(absent) = %v", got)
+	}
+}
+
+func TestSummarizeSampleTypeSelection(t *testing.T) {
+	sum, err := Summarize(testProfile(), SummaryOptions{SampleType: "samples"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Total != 6 || sum.Unit != "count" {
+		t.Fatalf("samples dimension: total=%d unit=%s", sum.Total, sum.Unit)
+	}
+	if _, err := Summarize(testProfile(), SummaryOptions{SampleType: "alloc_space"}); err == nil {
+		t.Fatal("Summarize accepted a missing sample type")
+	}
+	if _, err := Summarize(&Profile{}, SummaryOptions{}); err == nil {
+		t.Fatal("Summarize accepted a profile with no sample types")
+	}
+}
+
+func TestSummarizeEmptySamples(t *testing.T) {
+	p := &Profile{SampleType: []ValueType{{Type: "cpu", Unit: "nanoseconds"}}}
+	sum, err := Summarize(p, SummaryOptions{})
+	if err != nil {
+		t.Fatalf("empty capture must summarize to zero, got error: %v", err)
+	}
+	if sum.Total != 0 || sum.TotalSamples != 0 || len(sum.Top) != 0 {
+		t.Fatalf("zero-sample summary = %+v", sum)
+	}
+}
+
+func TestFormatSummary(t *testing.T) {
+	sum, err := Summarize(testProfile(), SummaryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	FormatSummary(&b, sum)
+	out := b.String()
+	for _, want := range []string{"beat_extraction", "phase CPU shares", "top functions (cpu)", "radar.MUSICExtractor.Extract"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package perf
 import (
 	"fmt"
 	"sort"
+
+	"safesense/internal/obs/profile"
 )
 
 // MetricDelta compares one metric of one scenario across two runs.
@@ -210,6 +212,10 @@ type Regression struct {
 	// waiver text.
 	Waived bool   `json:"waived,omitempty"`
 	Reason string `json:"reason,omitempty"`
+	// HotFunctions names the functions whose flat CPU share grew between
+	// the two captures' embedded profiles (AttributeRegressions fills it
+	// when both sides carry one) — the gate's "what grew" answer.
+	HotFunctions []profile.FuncDelta `json:"hot_functions,omitempty"`
 }
 
 // Gate scans the report for statistically significant regressions

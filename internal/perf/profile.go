@@ -1,0 +1,131 @@
+package perf
+
+import (
+	"bytes"
+	"runtime/pprof"
+
+	"safesense/internal/obs/profile"
+)
+
+// ProfileSummary is the optional per-scenario CPU attribution embedded
+// in a BENCH document when the capture ran with profiling on: how the
+// scenario's CPU time split across the simulator's pipeline-phase pprof
+// labels, plus the top functions by flat share. It rides in an
+// omitempty field, so documents captured without -profile are
+// byte-identical to the pre-profile schema and no SchemaVersion bump is
+// needed.
+type ProfileSummary struct {
+	// TotalSamples counts the CPU samples the window collected; tiny
+	// values (< ~50) mean the shares are noisy.
+	TotalSamples int `json:"total_samples"`
+	// PhaseCPUShare maps sim phase label values (plus "(unlabeled)") to
+	// their fraction of the scenario's CPU total; the values sum to 1.
+	PhaseCPUShare map[string]float64 `json:"phase_cpu_share,omitempty"`
+	// Top is the union of the top functions by flat and cumulative CPU.
+	Top []profile.FuncStat `json:"top,omitempty"`
+}
+
+// Summary widens the embedded digest back into a profile.Summary so the
+// share-based profile.Diff machinery can compare two BENCH captures.
+// Flat values survive in Top; phase totals do not round-trip (only
+// shares are stored), so LabelShare.Total stays zero.
+func (ps *ProfileSummary) Summary() *profile.Summary {
+	if ps == nil {
+		return nil
+	}
+	s := &profile.Summary{
+		SampleType:   "cpu",
+		TotalSamples: ps.TotalSamples,
+		Top:          ps.Top,
+	}
+	for _, f := range ps.Top {
+		if f.Flat > s.Total {
+			// Best-effort total for display; shares are precomputed.
+			s.Total = f.Flat
+		}
+	}
+	for _, phase := range sortedFloatKeys(ps.PhaseCPUShare) {
+		s.Phases = append(s.Phases, profile.LabelShare{
+			Value: phase, Share: ps.PhaseCPUShare[phase],
+		})
+	}
+	return s
+}
+
+// scenarioProfile wraps one scenario's measured repetitions in a CPU
+// profile with the sim phase labels enabled.
+type scenarioProfile struct {
+	buf bytes.Buffer
+	on  bool
+}
+
+// start enables phase labeling and begins the CPU capture. A
+// StartCPUProfile failure (another capture owns the profiler) is not
+// fatal: the scenario still measures, it just carries no attribution.
+func (sp *scenarioProfile) start() {
+	profile.Enable()
+	if err := pprof.StartCPUProfile(&sp.buf); err != nil {
+		profile.Disable()
+		return
+	}
+	sp.on = true
+}
+
+// finish stops the capture and digests it. Decode or summarize failures
+// yield nil — attribution is advisory and never fails a measurement.
+func (sp *scenarioProfile) finish() *ProfileSummary {
+	if !sp.on {
+		return nil
+	}
+	pprof.StopCPUProfile()
+	profile.Disable()
+	sp.on = false
+	p, err := profile.Decode(sp.buf.Bytes())
+	if err != nil {
+		return nil
+	}
+	sum, err := profile.Summarize(p, profile.SummaryOptions{})
+	if err != nil {
+		return nil
+	}
+	ps := &ProfileSummary{TotalSamples: sum.TotalSamples, Top: sum.Top}
+	if len(sum.Phases) > 0 {
+		ps.PhaseCPUShare = make(map[string]float64, len(sum.Phases))
+		for _, ls := range sum.Phases {
+			ps.PhaseCPUShare[ls.Value] = ls.Share
+		}
+	}
+	return ps
+}
+
+// HotFunctionMinDeltaShare is the flat-share growth floor (one
+// percentage point) below which a function is not blamed for a
+// regression.
+const HotFunctionMinDeltaShare = 0.01
+
+// AttributeRegressions annotates gate findings with the functions whose
+// flat CPU share grew between the two captures' embedded profiles, so
+// the gate names suspects instead of just the scenario. Regressions
+// whose scenario lacks a profile on either side pass through unchanged.
+func AttributeRegressions(regs []Regression, old, new *Run) []Regression {
+	if len(regs) == 0 {
+		return regs
+	}
+	profiles := func(r *Run) map[string]*ProfileSummary {
+		m := make(map[string]*ProfileSummary, len(r.Scenarios))
+		for i := range r.Scenarios {
+			m[r.Scenarios[i].Name] = r.Scenarios[i].Profile
+		}
+		return m
+	}
+	oldProf, newProf := profiles(old), profiles(new)
+	for i := range regs {
+		before, after := oldProf[regs[i].Scenario], newProf[regs[i].Scenario]
+		if before == nil || after == nil {
+			continue
+		}
+		d := profile.Diff(before.Summary(), after.Summary())
+		regs[i].HotFunctions = d.Growers(HotFunctionMinDeltaShare)
+	}
+	return regs
+}

@@ -15,6 +15,28 @@ const (
 	PhaseVehicleStep    = "vehicle_step"
 )
 
+// Phase label-context indexes: the order RunContext passes the phases
+// to profile.NewPhaseLabels, so a step-loop phase entry is one slice
+// index.
+const (
+	phaseIdxRadarSynthesis = iota
+	phaseIdxBeatExtraction
+	phaseIdxCRACheck
+	phaseIdxRLSEstimation
+	phaseIdxVehicleStep
+)
+
+// PhaseNames lists every pipeline phase in execution order — the label
+// vocabulary of safesense_sim_phase_seconds and of the continuous
+// profiler's pprof "phase" label (callers use it as the bounded gauge
+// whitelist).
+func PhaseNames() []string {
+	return []string{
+		PhaseRadarSynthesis, PhaseBeatExtraction,
+		PhaseCRACheck, PhaseRLSEstimation, PhaseVehicleStep,
+	}
+}
+
 var (
 	metricRuns = obs.Default().Counter(
 		"safesense_sim_runs_total", "Completed simulation runs.")

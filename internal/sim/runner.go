@@ -13,6 +13,7 @@ import (
 	"safesense/internal/estimate"
 	"safesense/internal/noise"
 	"safesense/internal/obs"
+	"safesense/internal/obs/profile"
 	obstrace "safesense/internal/obs/trace"
 	"safesense/internal/radar"
 	"safesense/internal/stats"
@@ -121,7 +122,19 @@ func RunContext(ctx context.Context, s Scenario) (*Result, error) {
 	// rtOn hoists the execution-tracer check out of the step loop; when
 	// off, phase regions cost one branch per step.
 	rtOn := rt.IsEnabled()
-	measure, threshold, err := buildMeasurePipeline(ctx, s, atk, src, tRadar, tExtract, rtOn)
+	// pl carries prebuilt pprof phase-label contexts when a profile
+	// consumer is active (continuous profiler, -profile-dir, perf
+	// capture); nil otherwise, so the step loop pays one nil check per
+	// phase when profiling is off. The phase order must match the
+	// phaseIdx* constants.
+	var pl *profile.PhaseLabels
+	if profile.Enabled() {
+		pl = profile.NewPhaseLabels(ctx,
+			PhaseRadarSynthesis, PhaseBeatExtraction,
+			PhaseCRACheck, PhaseRLSEstimation, PhaseVehicleStep)
+		defer pl.Unset()
+	}
+	measure, threshold, err := buildMeasurePipeline(ctx, s, atk, src, tRadar, tExtract, rtOn, pl)
 	if err != nil {
 		return nil, err
 	}
@@ -211,9 +224,11 @@ func RunContext(ctx context.Context, s Scenario) (*Result, error) {
 			if rtOn {
 				rg = rt.StartRegion(ctx, PhaseCRACheck)
 			}
+			pl.Set(phaseIdxCRACheck)
 			craSpan := tCRA.Start()
 			ev := det.Step(m)
 			craSpan.End()
+			pl.Unset()
 			if rg != nil {
 				rg.End()
 			}
@@ -254,9 +269,11 @@ func RunContext(ctx context.Context, s Scenario) (*Result, error) {
 				if rtOn {
 					rg = rt.StartRegion(ctx, PhaseRLSEstimation)
 				}
+				pl.Set(phaseIdxRLSEstimation)
 				sp := tRLS.Start()
 				useD, useV = pred.Predict(follower.Velocity)
 				res.RLSTime += sp.End()
+				pl.Unset()
 				if rg != nil {
 					rg.End()
 				}
@@ -298,9 +315,11 @@ func RunContext(ctx context.Context, s Scenario) (*Result, error) {
 			// Accepted measurement: train the predictor on it.
 			fr.inExceed = false
 			if s.Defended {
+				pl.Set(phaseIdxRLSEstimation)
 				sp := tRLS.Start()
 				err := pred.Observe(m.Distance, m.RelVelocity, follower.Velocity)
 				res.RLSTime += sp.End()
+				pl.Unset()
 				if err != nil {
 					return nil, fmt.Errorf("sim: predictor: %w", err)
 				}
@@ -312,10 +331,12 @@ func RunContext(ctx context.Context, s Scenario) (*Result, error) {
 		if rtOn {
 			vehRg = rt.StartRegion(ctx, PhaseVehicleStep)
 		}
+		pl.Set(phaseIdxVehicleStep)
 		vehSpan := tVehicle.Start()
 		_, aF := ctl.Step(useD, useV, follower.Velocity, true)
 		follower = follower.Step(aF, 1)
 		vehSpan.End()
+		pl.Unset()
 		if vehRg != nil {
 			vehRg.End()
 		}
@@ -394,8 +415,10 @@ type measureFunc func(k int, d, dv float64) radar.Measurement
 // transform), returning the measurement closure and the detector's
 // quiet-channel threshold. synth times sweep synthesis + corruption;
 // extract times the beat-spectrum estimator (signal pipeline only). When
-// rtOn, each phase additionally opens a runtime/trace region on ctx.
-func buildMeasurePipeline(ctx context.Context, s Scenario, atk attack.Attack, src *noise.Source, synth, extract *obs.Timer, rtOn bool) (measureFunc, float64, error) {
+// rtOn, each phase additionally opens a runtime/trace region on ctx;
+// when pl is non-nil, each phase additionally tags its CPU samples with
+// the matching pprof phase label.
+func buildMeasurePipeline(ctx context.Context, s Scenario, atk attack.Attack, src *noise.Source, synth, extract *obs.Timer, rtOn bool, pl *profile.PhaseLabels) (measureFunc, float64, error) {
 	if !s.SignalLevel {
 		fe, err := radar.NewFrontEnd(s.Radar, s.Schedule, src)
 		if err != nil {
@@ -406,9 +429,11 @@ func buildMeasurePipeline(ctx context.Context, s Scenario, atk attack.Attack, sr
 			if rtOn {
 				rg = rt.StartRegion(ctx, PhaseRadarSynthesis)
 			}
+			pl.Set(phaseIdxRadarSynthesis)
 			sp := synth.Start()
 			m := atk.Corrupt(k, fe.Observe(k, d, dv))
 			sp.End()
+			pl.Unset()
 			if rg != nil {
 				rg.End()
 			}
@@ -433,21 +458,25 @@ func buildMeasurePipeline(ctx context.Context, s Scenario, atk attack.Attack, sr
 		if rtOn {
 			rg = rt.StartRegion(ctx, PhaseRadarSynthesis)
 		}
+		pl.Set(phaseIdxRadarSynthesis)
 		sp := synth.Start()
 		sweep, challenge := sfe.ObserveSweep(k, d, dv)
 		if signalCapable {
 			sweep = sweepAtk.CorruptSweep(k, sweep, challenge)
 		}
 		sp.End()
+		pl.Unset()
 		if rg != nil {
 			rg.End()
 		}
 		if rtOn {
 			rg = rt.StartRegion(ctx, PhaseBeatExtraction)
 		}
+		pl.Set(phaseIdxBeatExtraction)
 		ep := extract.Start()
 		m := sfe.Measure(k, sweep, challenge)
 		ep.End()
+		pl.Unset()
 		if rg != nil {
 			rg.End()
 		}
